@@ -1,0 +1,64 @@
+// Command pandia-sweep compares the simple placement-sweep baseline against
+// Pandia's six-run profiling for one workload (§6.3 of the paper): the
+// sweep measures the packed and spread placements at every thread count and
+// picks the fastest; Pandia profiles once and predicts the whole canonical
+// placement space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pandia"
+	"pandia/internal/bench"
+	"pandia/internal/eval"
+)
+
+var (
+	model = flag.String("machine", "x5-2", "machine model")
+	name  = flag.String("workload", "MD", "benchmark zoo workload")
+	seed  = flag.Int64("seed", 1, "measurement noise seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pandia-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	h, err := eval.NewHarness(*model, eval.DefaultMaxPlacements(*model), *seed)
+	if err != nil {
+		return err
+	}
+	e, err := bench.ByName(*name)
+	if err != nil {
+		return err
+	}
+	s, err := eval.SweepStudy(h, []bench.Entry{e})
+	if err != nil {
+		return err
+	}
+	row := s.Rows[0]
+	c, err := h.CurveFor(e)
+	if err != nil {
+		return err
+	}
+	bi, pi := c.BestMeasuredIndex(), c.BestPredictedIndex()
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "workload\t%s on %s\n", e.Name, h.Key)
+	fmt.Fprintf(w, "sweep cost\t%.0f machine-seconds (%d placements)\n",
+		row.SweepCost, 2*h.TB.Machine().TotalContexts())
+	fmt.Fprintf(w, "profiling cost\t%.0f machine-seconds (6 runs)\n", row.ProfileCost)
+	fmt.Fprintf(w, "cost ratio\t%.1fx\n", row.CostRatio)
+	fmt.Fprintf(w, "sweep found true best\t%v (gap %.2f%%)\n", row.FoundBest, row.SweepBestGap)
+	fmt.Fprintf(w, "true best placement\t%s (%.4g s)\n", pandia.FormatShape(c.Shapes[bi]), c.Measured[bi])
+	fmt.Fprintf(w, "Pandia's pick\t%s (measured %.4g s, %.2f%% off best)\n",
+		pandia.FormatShape(c.Shapes[pi]), c.Measured[pi], c.BestGap())
+	return w.Flush()
+}

@@ -1,0 +1,371 @@
+// Command pandia is the command-line front end to the Pandia library:
+// generate machine descriptions, profile workloads with the six-run
+// methodology, predict placements, and recommend thread allocations.
+//
+// Usage:
+//
+//	pandia machines
+//	pandia describe  -machine x5-2 [-o machine.json]
+//	pandia profile   -machine x5-2 -workload MD [-o workload.json]
+//	pandia predict   -machine x5-2 (-workload MD | -workload-file w.json) -shape 2x2+3x1/4x1
+//	pandia recommend -machine x5-2 (-workload MD | -workload-file w.json) [-target 0.95]
+//	pandia explore   -machine x3-2 -workload MD [-max 500]
+//	pandia workloads
+//
+// Every command taking -machine also accepts -machine-file with a custom
+// simulated machine definition (JSON; see simhw.SaveTruth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"text/tabwriter"
+
+	"pandia"
+	"pandia/internal/core"
+	"pandia/internal/eval"
+	"pandia/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "machines":
+		err = cmdMachines()
+	case "workloads":
+		err = cmdWorkloads()
+	case "describe":
+		err = cmdDescribe(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "profile-all":
+		err = cmdProfileAll(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pandia: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandia:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pandia <command> [flags]
+
+commands:
+  machines    list the simulated machine models
+  workloads   list the benchmark zoo
+  describe    generate a machine description (stress runs + counters)
+  profile     generate a workload description (six profiling runs)
+  profile-all profile the whole zoo into a description directory
+  predict     predict one placement's performance
+  recommend   find the best and the minimal-adequate placements
+  explore     predict and measure a workload over the placement space
+  help        show this help`)
+}
+
+func cmdMachines() error {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "MODEL\tNAME\tSOCKETS\tCORES/SOCKET\tSMT")
+	for _, key := range pandia.Models() {
+		sys, err := pandia.NewSystem(key)
+		if err != nil {
+			return err
+		}
+		m := sys.Machine()
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", key, m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore)
+	}
+	return w.Flush()
+}
+
+func cmdWorkloads() error {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tSUITE\tROLE\tDESCRIPTION")
+	entries := pandia.AllBenchmarks()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		role := "evaluation"
+		if e.Development {
+			role = "development"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", e.Name, e.Suite, role, e.Description)
+	}
+	return w.Flush()
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model (see `pandia machines`)")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	out := fs.String("o", "", "write the description to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	d := sys.Description()
+	fmt.Println(d)
+	if *out != "" {
+		if err := d.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	name := fs.String("workload", "", "benchmark zoo workload name")
+	out := fs.String("o", "", "write the workload description to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("profile: -workload is required")
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	b, err := pandia.BenchmarkByName(*name)
+	if err != nil {
+		return err
+	}
+	prof, err := sys.Profile(b.Truth)
+	if err != nil {
+		return err
+	}
+	fmt.Println(prof.Workload.String())
+	fmt.Printf("profiling runs (total cost %.1f machine-seconds):\n", prof.Cost)
+	for _, r := range prof.Runs {
+		fmt.Printf("  run %d: %2d threads, %d stressors, %8.2f s\n",
+			r.Step, r.Placement.Threads(), r.Stressors, r.Time)
+	}
+	if *out != "" {
+		if err := prof.Workload.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+	return nil
+}
+
+// openSystem resolves -machine / -machine-file into a System.
+func openSystem(model, file string) (*pandia.System, error) {
+	if file != "" {
+		return pandia.NewSystemFromFile(file)
+	}
+	return pandia.NewSystem(model)
+}
+
+// loadWorkload resolves -workload / -workload-file into a description,
+// profiling on the system when a zoo name is given.
+func loadWorkload(sys *pandia.System, name, file string) (*pandia.WorkloadDescription, error) {
+	switch {
+	case file != "":
+		return pandia.LoadWorkloadDescription(file)
+	case name != "":
+		b, err := pandia.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := sys.Profile(b.Truth)
+		if err != nil {
+			return nil, err
+		}
+		return &prof.Workload, nil
+	default:
+		return nil, fmt.Errorf("need -workload or -workload-file")
+	}
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	name := fs.String("workload", "", "benchmark zoo workload name")
+	file := fs.String("workload-file", "", "workload description JSON file")
+	shapeStr := fs.String("shape", "", "placement shape, e.g. 2x2+3x1/4x1")
+	explain := fs.Bool("explain", false, "print the per-thread slowdown breakdown (Fig. 7 style)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shapeStr == "" {
+		return fmt.Errorf("predict: -shape is required")
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(sys, *name, *file)
+	if err != nil {
+		return err
+	}
+	shape, err := pandia.ParseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	pred, err := sys.PredictShape(w, shape, pandia.PredictOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload:   %s\nplacement:  %s (%d threads, %d cores, %d sockets)\n",
+		w.Name, pandia.FormatShape(shape), shape.Threads(), shape.Cores(), shape.SocketsUsed())
+	fmt.Printf("predicted:  %.3gs (speedup %.2fx of Amdahl limit %.2fx), %d iterations\n",
+		pred.Time, pred.Speedup, pred.AmdahlSpeedup, pred.Iterations)
+	fmt.Printf("bottleneck: %s\n", dominantBottleneck(pred))
+	if *explain {
+		fmt.Println()
+		fmt.Print(core.Explain(pred, shape.Expand(sys.Machine())))
+	}
+	return nil
+}
+
+func dominantBottleneck(p *pandia.Prediction) string {
+	counts := make(map[topology.ResourceKind]int)
+	for _, k := range p.Bottlenecks {
+		counts[k]++
+	}
+	bestK, bestN := topology.ResInstr, -1
+	for k, n := range counts {
+		if n > bestN {
+			bestK, bestN = k, n
+		}
+	}
+	return fmt.Sprintf("%v (%d of %d threads)", bestK, bestN, len(p.Bottlenecks))
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	name := fs.String("workload", "", "benchmark zoo workload name")
+	file := fs.String("workload-file", "", "workload description JSON file")
+	target := fs.Float64("target", 0.95, "fraction of peak performance the minimal placement must reach")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(sys, *name, *file)
+	if err != nil {
+		return err
+	}
+	rec, err := sys.Recommend(w, *target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s on %s\n", w.Name, sys.Machine().Name)
+	fmt.Printf("best placement:    %-20s speedup %.2fx (%d threads, %d cores, %d sockets)\n",
+		pandia.FormatShape(rec.Best), rec.BestPrediction.Speedup,
+		rec.Best.Threads(), rec.Best.Cores(), rec.Best.SocketsUsed())
+	fmt.Printf("minimal for %3.0f%%:  %-20s speedup %.2fx (%d threads, %d cores, %d sockets)\n",
+		100*rec.TargetFraction, pandia.FormatShape(rec.Minimal), rec.MinimalPrediction.Speedup,
+		rec.Minimal.Threads(), rec.Minimal.Cores(), rec.Minimal.SocketsUsed())
+	return nil
+}
+
+// cmdExplore predicts and measures a workload over (a sample of) the
+// machine's canonical placement space, printing error metrics and an ASCII
+// rendering of the Fig. 1-style curve.
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	model := fs.String("machine", "x3-2", "machine model")
+	name := fs.String("workload", "", "benchmark zoo workload name")
+	maxShapes := fs.Int("max", 500, "placement sample cap (0 = exhaustive)")
+	csv := fs.String("csv", "", "also write the curve CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("explore: -workload is required")
+	}
+	h, err := eval.NewHarness(*model, *maxShapes, 1)
+	if err != nil {
+		return err
+	}
+	e, err := pandia.BenchmarkByName(*name)
+	if err != nil {
+		return err
+	}
+	c, err := h.CurveFor(e)
+	if err != nil {
+		return err
+	}
+	m := c.Metrics()
+	fmt.Printf("%s on %s: %d placements\n", e.Name, *model, len(c.Shapes))
+	fmt.Printf("errors: %s\n", m)
+	bi, pi := c.BestMeasuredIndex(), c.BestPredictedIndex()
+	fmt.Printf("best measured:  %-22s %8.3gs\n", pandia.FormatShape(c.Shapes[bi]), c.Measured[bi])
+	fmt.Printf("Pandia's pick:  %-22s %8.3gs measured (%.2f%% off best)\n",
+		pandia.FormatShape(c.Shapes[pi]), c.Measured[pi], c.BestGap())
+	fmt.Println()
+	fmt.Println(eval.ASCIICurve(c, 100, 16))
+	if *csv != "" {
+		if err := eval.SaveCurveCSV(*csv, c); err != nil {
+			return err
+		}
+		fmt.Printf("curve written to %s\n", *csv)
+	}
+	return nil
+}
+
+// cmdProfileAll profiles the whole benchmark zoo on one machine and writes
+// every workload description into a directory, building the description
+// store that predict/recommend consume via -workload-file.
+func cmdProfileAll(args []string) error {
+	fs := flag.NewFlagSet("profile-all", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	dir := fs.String("dir", "profiles", "output directory for the descriptions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "WORKLOAD\tP\tOS\tL\tB\tCOST(s)\tFILE")
+	for _, e := range pandia.Benchmarks() {
+		prof, err := sys.Profile(e.Truth)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", e.Name, err)
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("%s-%s.json", *model, e.Name))
+		if err := prof.Workload.Save(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.4f\t%.2f\t%.2f\t%.0f\t%s\n",
+			e.Name, prof.Workload.ParallelFrac, prof.Workload.InterSocketOverhead,
+			prof.Workload.LoadBalance, prof.Workload.Burstiness, prof.Cost, path)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,61 @@
+package pandia_test
+
+import (
+	"fmt"
+
+	"pandia"
+)
+
+// Example demonstrates the full pipeline on the paper's toy machine
+// (Fig. 3): describe, profile, predict.
+func Example() {
+	sys, err := pandia.NewSystem("toy")
+	if err != nil {
+		panic(err)
+	}
+	// The toy workload of the paper's worked example lives in the zoo's
+	// machinery; here we profile MD-like behaviour via a spec.
+	spec := pandia.WorkloadSpec{
+		Name:         "demo",
+		SeqTime:      100,
+		ParallelFrac: 0.9,
+	}
+	spec.Demand.Instr = 7
+	spec.Demand.DRAM = 40
+	prof, err := sys.Profile(spec)
+	if err != nil {
+		panic(err)
+	}
+	shape, _ := pandia.ParseShape("1x1/1x1")
+	pred, err := sys.PredictShape(&prof.Workload, shape, pandia.PredictOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p=%.2f predicted speedup %.2fx\n", prof.Workload.ParallelFrac, pred.Speedup)
+	// Output:
+	// p=0.90 predicted speedup 1.25x
+}
+
+// ExampleSystem_Recommend shows the resource-saving use case: the smallest
+// placement within 95% of peak performance.
+func ExampleSystem_Recommend() {
+	sys, err := pandia.NewSystem("toy")
+	if err != nil {
+		panic(err)
+	}
+	spec := pandia.WorkloadSpec{Name: "light", SeqTime: 50, ParallelFrac: 0.98}
+	spec.Demand.Instr = 4
+	spec.Demand.DRAM = 5
+	prof, err := sys.Profile(spec)
+	if err != nil {
+		panic(err)
+	}
+	rec, err := sys.Recommend(&prof.Workload, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best uses %d threads; %d reach %.0f%% of peak\n",
+		rec.Best.Threads(), rec.Minimal.Threads(), 100*rec.TargetFraction)
+	// Output:
+	// best uses 8 threads; 8 reach 95% of peak
+}

@@ -1,0 +1,118 @@
+// Co-scheduling: the paper's future-work scenario (§8) — predicting how
+// multiple workloads behave when they share a machine, using Pandia's joint
+// co-scheduling predictor (each workload keeps its own scaling and
+// synchronisation behaviour while all press on the same resource loads).
+//
+// The example profiles a compute-bound workload (MD) and a memory-bound one
+// (PageRank) on the simulated X5-2, then evaluates two ways of splitting
+// the machine between them. Ground-truth co-runs (each workload measured
+// with the other's threads present) check the predictions.
+//
+// Run with: go run ./examples/coscheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pandia"
+	"pandia/internal/simhw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosched: ")
+
+	sys, err := pandia.NewSystem("x5-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdBench, err := pandia.BenchmarkByName("MD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prBench, err := pandia.BenchmarkByName("PageRank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdProf, err := sys.Profile(mdBench.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prProf, err := sys.Profile(prBench.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo := sys.Machine()
+	type split struct {
+		name             string
+		mdPlace, prPlace pandia.Placement
+	}
+	socketSplit := split{name: "socket split: MD on socket 0, PageRank on socket 1"}
+	interleaved := split{name: "interleaved: both spread over both sockets"}
+	// Socket split: 18 threads each, one per core of "their" socket.
+	for c := 0; c < 18; c++ {
+		socketSplit.mdPlace = append(socketSplit.mdPlace, pandia.Context{Socket: 0, Core: c, Slot: 0})
+		socketSplit.prPlace = append(socketSplit.prPlace, pandia.Context{Socket: 1, Core: c, Slot: 0})
+	}
+	// Interleaved: MD on cores 0-8 of each socket, PageRank on cores 9-17.
+	for s := 0; s < 2; s++ {
+		for c := 0; c < 9; c++ {
+			interleaved.mdPlace = append(interleaved.mdPlace, pandia.Context{Socket: s, Core: c, Slot: 0})
+			interleaved.prPlace = append(interleaved.prPlace, pandia.Context{Socket: s, Core: c + 9, Slot: 0})
+		}
+	}
+	_ = topo
+
+	bestName, bestSum := "", 0.0
+	for _, sp := range []split{socketSplit, interleaved} {
+		jobs := []pandia.PlacedWorkload{
+			{Workload: &mdProf.Workload, Placement: sp.mdPlace},
+			{Workload: &prProf.Workload, Placement: sp.prPlace},
+		}
+		co, err := sys.PredictCoSchedule(jobs, pandia.PredictOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Println(sp.name)
+		fmt.Printf("  joint prediction: MD %.2fs (%.1fx), PageRank %.2fs (%.1fx)\n",
+			co.Predictions[0].Time, co.Predictions[0].Speedup,
+			co.Predictions[1].Time, co.Predictions[1].Speedup)
+		fmt.Printf("  worst combined resource load: %.0f%% of %v\n",
+			100*co.WorstOversubscription, co.WorstResource)
+
+		mdTime := coMeasure(sys, mdBench.Truth, sp.mdPlace, prBench.Truth, sp.prPlace)
+		prTime := coMeasure(sys, prBench.Truth, sp.prPlace, mdBench.Truth, sp.mdPlace)
+		fmt.Printf("  measured co-run:  MD %.2fs, PageRank %.2fs\n\n", mdTime, prTime)
+
+		// Rank splits by the predicted aggregate speedup.
+		sum := co.Predictions[0].Speedup + co.Predictions[1].Speedup
+		if sum > bestSum {
+			bestName, bestSum = sp.name, sum
+		}
+	}
+	fmt.Printf("recommendation: %q (highest predicted aggregate speedup, %.1fx)\n", bestName, bestSum)
+	fmt.Println("This is the §8 scenario: the joint model predicts both workloads'")
+	fmt.Println("performance and the combined per-resource loads before anything runs.")
+}
+
+// coMeasure runs `main` on the testbed with `other` placed as interfering
+// load (the ground truth a real co-deployment would observe).
+func coMeasure(sys *pandia.System, main pandia.WorkloadSpec, mainPlace pandia.Placement,
+	other pandia.WorkloadSpec, otherPlace pandia.Placement) float64 {
+	stressors := make([]simhw.PlacedStressor, len(otherPlace))
+	for i, c := range otherPlace {
+		stressors[i] = simhw.PlacedStressor{Ctx: c, Truth: other}
+	}
+	res, err := sys.Testbed().Run(simhw.RunConfig{
+		Workload:  main,
+		Placement: mainPlace,
+		Stressors: stressors,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Time
+}

@@ -1,0 +1,107 @@
+// Placement advisor: the paper's motivating decisions for a database
+// operator (§1) — should this workload use both sockets? does SMT pay off?
+// and how few cores suffice when scaling is poor?
+//
+// The example profiles the in-memory Sort-Join operator on the simulated
+// X5-2, then answers each question by comparing predictions, and verifies
+// the headline answers against ground-truth runs.
+//
+// Run with: go run ./examples/placement-advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pandia"
+	"pandia/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("advisor: ")
+
+	sys, err := pandia.NewSystem("x5-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := pandia.BenchmarkByName("Sort-Join")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := sys.Profile(job.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := &prof.Workload
+	fmt.Printf("profiled %s: %s\n\n", job.Name, w)
+
+	predict := func(spec string) *pandia.Prediction {
+		shape, err := pandia.ParseShape(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := sys.PredictShape(w, shape, pandia.PredictOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pred
+	}
+
+	// Question 1: one socket or two, at equal thread counts?
+	one := predict("16x1")
+	two := predict("8x1/8x1")
+	fmt.Println("Q1: 16 threads on one socket vs split across two?")
+	fmt.Printf("  one socket:  %.2fx speedup\n", one.Speedup)
+	fmt.Printf("  two sockets: %.2fx speedup\n", two.Speedup)
+	if two.Speedup > one.Speedup {
+		fmt.Println("  -> spread across both sockets (the extra memory bandwidth wins)")
+	} else {
+		fmt.Println("  -> stay on one socket (cross-socket traffic costs more than it buys)")
+	}
+
+	// Question 2: does doubling up on SMT contexts help?
+	wide := predict("18x1/18x1")
+	smt := predict("18x2/18x2")
+	fmt.Println("\nQ2: one thread per core vs two (SMT)?")
+	fmt.Printf("  36 threads, 1/core: %.2fx\n", wide.Speedup)
+	fmt.Printf("  72 threads, 2/core: %.2fx\n", smt.Speedup)
+	if smt.Speedup > wide.Speedup*1.02 {
+		fmt.Println("  -> use SMT")
+	} else {
+		fmt.Println("  -> skip SMT: this operator's bursty core demand makes co-located threads interfere")
+	}
+
+	// Question 3: the resource-saving case — the smallest allocation
+	// within 90% of peak.
+	rec, err := sys.Recommend(w, 0.90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ3: smallest allocation within 90% of peak?")
+	fmt.Printf("  peak:    %s -> %.2fx\n", pandia.FormatShape(rec.Best), rec.BestPrediction.Speedup)
+	fmt.Printf("  minimal: %s -> %.2fx using %d of %d hardware contexts\n",
+		pandia.FormatShape(rec.Minimal), rec.MinimalPrediction.Speedup,
+		rec.Minimal.Threads(), sys.Machine().TotalContexts())
+
+	// Where does the time go? Report the predicted bottleneck mix at peak.
+	fmt.Println("\npredicted bottlenecks at the peak placement:")
+	counts := map[topology.ResourceKind]int{}
+	for _, k := range rec.BestPrediction.Bottlenecks {
+		counts[k]++
+	}
+	for k, n := range counts {
+		fmt.Printf("  %-14v %d threads\n", k, n)
+	}
+
+	// Verify the Q1 answer against ground truth.
+	fmt.Println("\nground-truth check of Q1:")
+	for _, spec := range []string{"16x1", "8x1/8x1"} {
+		shape, _ := pandia.ParseShape(spec)
+		meas, err := sys.Measure(job.Truth, shape.Expand(sys.Machine()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s measured %.2fs\n", spec, meas)
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: the full Pandia pipeline in one page.
+//
+// It builds a simulated 2-socket Haswell system (measuring its machine
+// description with stress applications, §3 of the paper), profiles the MD
+// molecular-dynamics workload with the six-run methodology (§4), predicts a
+// few placements (§5), and checks the predictions against ground-truth runs
+// on the testbed.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pandia"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// 1. Bring up a machine and measure its description.
+	sys, err := pandia.NewSystem("x5-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine description:\n  %s\n\n", sys.Description())
+
+	// 2. Profile a workload with the six runs.
+	md, err := pandia.BenchmarkByName("MD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := sys.Profile(md.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := &prof.Workload
+	fmt.Printf("workload description (after %d profiling runs, %.0f machine-seconds):\n  %s\n\n",
+		len(prof.Runs), prof.Cost, w)
+
+	// 3. Predict a few placements and compare with ground truth.
+	fmt.Println("placement                      predicted   measured    error")
+	for _, spec := range []string{
+		"1x1",       // one thread
+		"9x1/9x1",   // 18 threads, one per core, both sockets
+		"18x1/18x1", // every core, no SMT
+		"18x2/18x2", // the whole machine
+		"9x2",       // 18 threads packed on half of one socket
+	} {
+		shape, err := pandia.ParseShape(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := sys.PredictShape(w, shape, pandia.PredictOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas, err := sys.Measure(md.Truth, shape.Expand(sys.Machine()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.2fs  %8.2fs  %+6.1f%%\n",
+			spec, pred.Time, meas, 100*(pred.Time-meas)/meas)
+	}
+
+	// 4. Ask for a recommendation.
+	rec, err := sys.Recommend(w, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest predicted placement: %s (%.1fx speedup)\n",
+		pandia.FormatShape(rec.Best), rec.BestPrediction.Speedup)
+	fmt.Printf("95%% of peak with just:    %s (%d threads instead of %d)\n",
+		pandia.FormatShape(rec.Minimal), rec.Minimal.Threads(), rec.Best.Threads())
+}

@@ -1,0 +1,3 @@
+module pandia
+
+go 1.22

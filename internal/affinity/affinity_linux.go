@@ -1,0 +1,180 @@
+//go:build linux
+
+// Package affinity provides the thread-pinning primitive the paper's
+// methodology needs (§6: "thread placement is controlled explicitly via
+// pinning"), implemented with raw sched_setaffinity/sched_getaffinity
+// system calls — pure standard library.
+//
+// Go's runtime does not expose which goroutine runs on which OS thread, so
+// full per-goroutine placement control is impossible; what IS possible, and
+// implemented here, is:
+//
+//   - PinThread: lock the calling goroutine to its OS thread and bind that
+//     thread to a CPU set (for benchmark harness threads that own their
+//     work, e.g. one goroutine per placement slot started with
+//     runtime.LockOSThread).
+//   - RestrictProcess: bind the calling thread — and, by inheritance, every
+//     OS thread the runtime creates afterwards — to a CPU set,
+//     approximating a whole-process "placement" for measuring real kernels
+//     on a subset of the machine. Threads that already existed keep their
+//     old mask; call this before spawning parallel work.
+//
+// On hosts without enough CPUs (or non-Linux systems) callers should treat
+// pinning as unavailable and fall back to the simulated testbed.
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"syscall"
+	"unsafe"
+)
+
+// maskWords covers 1024 CPUs, the kernel's default cpu_set_t size.
+const maskWords = 1024 / 64
+
+type cpuMask [maskWords]uint64
+
+func (m *cpuMask) set(cpu int) error {
+	if cpu < 0 || cpu >= maskWords*64 {
+		return fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	m[cpu/64] |= 1 << (uint(cpu) % 64)
+	return nil
+}
+
+func (m *cpuMask) cpus() []int {
+	var out []int
+	for w, bits := range m {
+		for b := 0; b < 64; b++ {
+			if bits&(1<<uint(b)) != 0 {
+				out = append(out, w*64+b)
+			}
+		}
+	}
+	return out
+}
+
+func maskOf(cpus []int) (cpuMask, error) {
+	var m cpuMask
+	if len(cpus) == 0 {
+		return m, fmt.Errorf("affinity: empty CPU set")
+	}
+	for _, c := range cpus {
+		if err := m.set(c); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// setAffinity binds the calling OS thread (tid 0) to the mask.
+func setAffinity(m *cpuMask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*m)), uintptr(unsafe.Pointer(m)))
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_setaffinity: %w", errno)
+	}
+	return nil
+}
+
+// getAffinity reads the calling OS thread's mask.
+func getAffinity() (cpuMask, error) {
+	var m cpuMask
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(m)), uintptr(unsafe.Pointer(&m)))
+	if errno != 0 {
+		return m, fmt.Errorf("affinity: sched_getaffinity: %w", errno)
+	}
+	return m, nil
+}
+
+// Supported reports whether pinning works here (Linux).
+func Supported() bool { return true }
+
+// Current returns the CPUs the calling OS thread may run on. Call with the
+// goroutine locked to its thread for a stable answer.
+func Current() ([]int, error) {
+	m, err := getAffinity()
+	if err != nil {
+		return nil, err
+	}
+	cpus := m.cpus()
+	sort.Ints(cpus)
+	return cpus, nil
+}
+
+// PinThread locks the calling goroutine to its OS thread and binds that
+// thread to the given CPUs. The returned restore function unbinds (restores
+// the previous mask) and unlocks the thread.
+func PinThread(cpus ...int) (restore func(), err error) {
+	m, err := maskOf(cpus)
+	if err != nil {
+		return nil, err
+	}
+	runtime.LockOSThread()
+	prev, err := getAffinity()
+	if err != nil {
+		runtime.UnlockOSThread()
+		return nil, err
+	}
+	if err := setAffinity(&m); err != nil {
+		runtime.UnlockOSThread()
+		return nil, err
+	}
+	return func() {
+		_ = setAffinity(&prev)
+		runtime.UnlockOSThread()
+	}, nil
+}
+
+// RestrictProcess binds the calling thread to the CPU set; OS threads the
+// runtime creates afterwards inherit the mask, so parallel work started
+// after this call runs within the set. Returns a restore function for the
+// calling thread's previous mask (inherited masks of threads spawned in
+// between are not reverted — prefer running one experiment per process).
+func RestrictProcess(cpus ...int) (restore func(), err error) {
+	m, err := maskOf(cpus)
+	if err != nil {
+		return nil, err
+	}
+	prev, err := getAffinity()
+	if err != nil {
+		return nil, err
+	}
+	if err := setAffinity(&m); err != nil {
+		return nil, err
+	}
+	return func() { _ = setAffinity(&prev) }, nil
+}
+
+// RunPinned starts one OS-thread-locked goroutine per entry of cpus, with
+// goroutine i bound to cpus[i], runs fn(i) on each, and waits for all of
+// them — the building block for measuring a real workload under an explicit
+// thread placement.
+func RunPinned(cpus []int, fn func(i int)) error {
+	if len(cpus) == 0 {
+		return fmt.Errorf("affinity: no CPUs given")
+	}
+	errs := make(chan error, len(cpus))
+	for i := range cpus {
+		go func(i int) {
+			restore, err := PinThread(cpus[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer restore()
+			fn(i)
+			errs <- nil
+		}(i)
+	}
+	var first error
+	for range cpus {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,23 @@
+//go:build !linux
+
+package affinity
+
+import "errors"
+
+// ErrUnsupported is returned on platforms without sched_setaffinity.
+var ErrUnsupported = errors.New("affinity: thread pinning is only supported on Linux")
+
+// Supported reports whether pinning works here.
+func Supported() bool { return false }
+
+// Current is unsupported off Linux.
+func Current() ([]int, error) { return nil, ErrUnsupported }
+
+// PinThread is unsupported off Linux.
+func PinThread(cpus ...int) (func(), error) { return nil, ErrUnsupported }
+
+// RestrictProcess is unsupported off Linux.
+func RestrictProcess(cpus ...int) (func(), error) { return nil, ErrUnsupported }
+
+// RunPinned is unsupported off Linux.
+func RunPinned(cpus []int, fn func(i int)) error { return ErrUnsupported }

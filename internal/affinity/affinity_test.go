@@ -1,0 +1,138 @@
+//go:build linux
+
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSupported(t *testing.T) {
+	if !Supported() {
+		t.Fatal("Supported() = false on Linux")
+	}
+}
+
+func TestCurrentNonEmpty(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	cpus, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) == 0 {
+		t.Fatal("no CPUs in the current mask")
+	}
+}
+
+func TestPinThreadRoundTrip(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	before, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := before[0]
+	restore, err := PinThread(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != target {
+		t.Errorf("pinned mask = %v, want [%d]", got, target)
+	}
+	restore()
+	after, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Errorf("restore left mask %v, want %v", after, before)
+	}
+}
+
+func TestPinThreadRejectsBadCPUs(t *testing.T) {
+	if _, err := PinThread(); err == nil {
+		t.Error("empty CPU set accepted")
+	}
+	if _, err := PinThread(-1); err == nil {
+		t.Error("negative CPU accepted")
+	}
+	if _, err := PinThread(1 << 20); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+}
+
+func TestRunPinned(t *testing.T) {
+	runtime.LockOSThread()
+	avail, err := Current()
+	runtime.UnlockOSThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin two workers (to the same CPU on single-CPU hosts).
+	cpus := []int{avail[0], avail[len(avail)-1]}
+	seen := make([][]int, len(cpus))
+	err = RunPinned(cpus, func(i int) {
+		got, err := Current()
+		if err != nil {
+			return
+		}
+		seen[i] = got
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range seen {
+		if len(got) != 1 || got[0] != cpus[i] {
+			t.Errorf("worker %d observed mask %v, want [%d]", i, got, cpus[i])
+		}
+	}
+	if err := RunPinned(nil, func(int) {}); err == nil {
+		t.Error("empty RunPinned accepted")
+	}
+}
+
+func TestRestrictProcess(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	avail, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore, err := RestrictProcess(avail[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != avail[0] {
+		t.Errorf("restricted mask = %v", got)
+	}
+	restore()
+}
+
+func TestMaskHelpers(t *testing.T) {
+	m, err := maskOf([]int{0, 3, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.cpus()
+	want := []int{0, 3, 64}
+	if len(got) != len(want) {
+		t.Fatalf("cpus() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cpus() = %v, want %v", got, want)
+		}
+	}
+	if _, err := maskOf(nil); err == nil {
+		t.Error("empty mask accepted")
+	}
+}

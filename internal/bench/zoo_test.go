@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"testing"
+
+	"pandia/internal/simhw"
+	"pandia/internal/topology"
+)
+
+func TestZooSize(t *testing.T) {
+	if got := len(Zoo()); got != 22 {
+		t.Fatalf("zoo has %d workloads, want 22 (paper §6)", got)
+	}
+	if got := len(All()); got != 24 {
+		t.Fatalf("All() has %d workloads, want 24 (zoo + equake + NPO-single)", got)
+	}
+}
+
+func TestZooValidAndUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if seen[e.Name] {
+			t.Errorf("duplicate workload %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Name != e.Truth.Name {
+			t.Errorf("entry %q has truth named %q", e.Name, e.Truth.Name)
+		}
+		if err := e.Truth.Validate(); err != nil {
+			t.Errorf("workload %q invalid: %v", e.Name, err)
+		}
+		if e.Suite == "" || e.Description == "" {
+			t.Errorf("workload %q missing metadata", e.Name)
+		}
+	}
+}
+
+func TestDevelopmentSet(t *testing.T) {
+	var dev []string
+	for _, e := range Zoo() {
+		if e.Development {
+			dev = append(dev, e.Name)
+		}
+	}
+	if len(dev) != 4 {
+		t.Fatalf("development set = %v, want 4 workloads (BT, CG, IS, MD)", dev)
+	}
+	want := map[string]bool{"BT": true, "CG": true, "IS": true, "MD": true}
+	for _, n := range dev {
+		if !want[n] {
+			t.Errorf("unexpected development workload %q", n)
+		}
+	}
+}
+
+func TestSpecialCases(t *testing.T) {
+	eq := Equake()
+	if eq.Truth.WorkGrowth <= 0 {
+		t.Error("equake has no work growth; it must violate the constant-work assumption")
+	}
+	np := NPOSingle()
+	if np.Truth.ActiveThreads != 1 {
+		t.Errorf("NPO-single active threads = %d, want 1", np.Truth.ActiveThreads)
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, err := ByName("Sort-Join")
+	if err != nil || e.Suite != Join {
+		t.Errorf("ByName(Sort-Join) = %v, %v", e, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 22 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted at %d: %v", i, names)
+		}
+	}
+}
+
+// TestZooDiversity checks the zoo spans the behaviours the evaluation
+// needs: compute-bound and bandwidth-bound codes, static and dynamic
+// balancing, and at least one workload that saturates a socket's memory
+// bandwidth within its core count on the smallest machine.
+func TestZooDiversity(t *testing.T) {
+	x32 := simhw.X32Truth()
+	x52 := simhw.X52Truth()
+	var computeBound, bandwidthBound, static, dynamic int
+	for _, e := range Zoo() {
+		if e.Truth.Demand.Instr > 0.6*x32.CoreInstrRate {
+			computeBound++
+		}
+		// Bandwidth-bound relative to the large machine: one thread per
+		// core on a socket over-subscribes the socket's DRAM.
+		if e.Truth.Demand.DRAM*float64(x52.Topo.CoresPerSocket) > x52.DRAMBW {
+			bandwidthBound++
+		}
+		if e.Truth.LoadBalance <= 0.25 {
+			static++
+		}
+		if e.Truth.LoadBalance >= 0.75 {
+			dynamic++
+		}
+	}
+	if computeBound < 2 {
+		t.Errorf("only %d compute-bound workloads", computeBound)
+	}
+	if bandwidthBound < 6 {
+		t.Errorf("only %d bandwidth-bound workloads", bandwidthBound)
+	}
+	if static < 4 || dynamic < 4 {
+		t.Errorf("balancing diversity: %d static, %d dynamic", static, dynamic)
+	}
+}
+
+// TestZooRunsEverywhere executes every workload once on every machine to
+// guard against degenerate truths.
+func TestZooRunsEverywhere(t *testing.T) {
+	for key, mt := range simhw.Truths() {
+		if key == "toy" {
+			continue
+		}
+		tb, err := simhw.NewTestbed(mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range All() {
+			res, err := tb.Run(simhw.RunConfig{
+				Workload:  e.Truth,
+				Placement: []topology.Context{{Socket: 0, Core: 0, Slot: 0}},
+			})
+			if err != nil {
+				t.Errorf("%s on %s: %v", e.Name, key, err)
+				continue
+			}
+			if res.Time <= 0 {
+				t.Errorf("%s on %s: non-positive time", e.Name, key)
+			}
+		}
+	}
+}

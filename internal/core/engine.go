@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// PlacedWorkload pairs one workload description with a proposed placement,
+// for joint prediction of co-scheduled workloads (the paper's §8 scenario).
+type PlacedWorkload struct {
+	Workload  *Workload
+	Placement placement.Placement
+}
+
+// job is the engine's per-workload state.
+type job struct {
+	w     *Workload
+	place placement.Placement
+
+	coreOf     []int
+	memSockets []int
+	memShare   float64
+
+	amdahl float64
+	fInit  float64
+
+	f          []float64
+	prevF      []float64
+	sRes       []float64
+	sTot       []float64
+	commPen    []float64
+	lbPen      []float64
+	bottleneck []topology.ResourceKind
+	sCap       float64
+}
+
+// engine runs the iterative prediction of §5 for one or more workloads
+// sharing a machine. All workloads' demands land on the same load tables;
+// communication and load-balancing penalties stay within each workload.
+type engine struct {
+	md   *machine.Description
+	jobs []*job
+
+	nCores int
+	nSock  int
+
+	// coreOcc counts all jobs' threads per core (SMT capacity and the
+	// burstiness trigger consider every co-located thread).
+	coreOcc []int
+
+	// Dense load tables, one slot per resource instance.
+	instr  []float64
+	l1     []float64
+	l2     []float64
+	l3Link []float64
+	l3Agg  []float64
+	dram   []float64
+	ic     []float64
+}
+
+func newEngine(md *machine.Description, placed []PlacedWorkload) (*engine, error) {
+	if err := md.Validate(); err != nil {
+		return nil, err
+	}
+	if len(placed) == 0 {
+		return nil, fmt.Errorf("core: no workloads to predict")
+	}
+	topo := md.Topo
+	e := &engine{
+		md:      md,
+		nCores:  topo.TotalCores(),
+		nSock:   topo.Sockets,
+		coreOcc: make([]int, topo.TotalCores()),
+		instr:   make([]float64, topo.TotalCores()),
+		l1:      make([]float64, topo.TotalCores()),
+		l2:      make([]float64, topo.TotalCores()),
+		l3Link:  make([]float64, topo.TotalCores()),
+		l3Agg:   make([]float64, topo.Sockets),
+		dram:    make([]float64, topo.Sockets),
+		ic:      make([]float64, topo.NumSocketPairs()),
+	}
+	occupied := make(map[topology.Context]bool)
+	for _, pw := range placed {
+		if pw.Workload == nil {
+			return nil, fmt.Errorf("core: nil workload")
+		}
+		if err := pw.Workload.Validate(); err != nil {
+			return nil, err
+		}
+		if err := pw.Placement.Validate(topo); err != nil {
+			return nil, err
+		}
+		for _, c := range pw.Placement {
+			if occupied[c] {
+				return nil, fmt.Errorf("core: context %v claimed by two workloads", c)
+			}
+			occupied[c] = true
+		}
+		n := len(pw.Placement)
+		j := &job{
+			w:          pw.Workload,
+			place:      pw.Placement,
+			coreOf:     make([]int, n),
+			amdahl:     pw.Workload.AmdahlSpeedup(n),
+			f:          make([]float64, n),
+			prevF:      make([]float64, n),
+			sRes:       make([]float64, n),
+			sTot:       make([]float64, n),
+			commPen:    make([]float64, n),
+			lbPen:      make([]float64, n),
+			bottleneck: make([]topology.ResourceKind, n),
+			sCap:       math.Inf(1),
+		}
+		j.fInit = j.amdahl / float64(n)
+		sockets := make(map[int]bool)
+		for i, c := range pw.Placement {
+			j.coreOf[i] = topo.GlobalCore(c)
+			e.coreOcc[j.coreOf[i]]++
+			sockets[c.Socket] = true
+		}
+		for s := range sockets {
+			j.memSockets = append(j.memSockets, s)
+		}
+		sort.Ints(j.memSockets)
+		j.memShare = 1 / float64(len(j.memSockets))
+		for i := range j.f {
+			j.f[i] = j.fInit
+		}
+		e.jobs = append(e.jobs, j)
+	}
+	return e, nil
+}
+
+// accumulate recomputes every resource load from all jobs' demands at the
+// current utilisations (§5.1).
+func (e *engine) accumulate() {
+	for i := range e.instr {
+		e.instr[i], e.l1[i], e.l2[i], e.l3Link[i] = 0, 0, 0, 0
+	}
+	for s := range e.l3Agg {
+		e.l3Agg[s], e.dram[s] = 0, 0
+	}
+	for p := range e.ic {
+		e.ic[p] = 0
+	}
+	topo := e.md.Topo
+	for _, j := range e.jobs {
+		d := j.w.Demand
+		for i, c := range j.place {
+			core := j.coreOf[i]
+			fi := j.f[i]
+			e.instr[core] += d.Instr * fi
+			e.l1[core] += d.L1 * fi
+			e.l2[core] += d.L2 * fi
+			e.l3Link[core] += d.L3 * fi
+			e.l3Agg[c.Socket] += d.L3 * fi
+			if dd := d.DRAM * fi; dd > 0 {
+				for _, u := range j.memSockets {
+					e.dram[u] += dd * j.memShare
+					if u != c.Socket {
+						e.ic[topo.PairIndex(c.Socket, u)] += 2 * dd * j.memShare
+					}
+				}
+			}
+		}
+	}
+}
+
+// worstOversubscription returns thread i of job j's largest load/capacity
+// factor (at least 1) and the bottleneck kind.
+func (e *engine) worstOversubscription(j *job, i int) (float64, topology.ResourceKind) {
+	md := e.md
+	core := j.coreOf[i]
+	sock := j.place[i].Socket
+	d := j.w.Demand
+	best := 1.0
+	kind := topology.ResInstr
+
+	check := func(load, cap float64, k topology.ResourceKind) {
+		if cap <= 0 || load <= 0 {
+			return
+		}
+		if r := load / cap; r > best {
+			best, kind = r, k
+		}
+	}
+	if d.Instr > 0 {
+		check(e.instr[core], md.InstrCapacity(e.coreOcc[core]), topology.ResInstr)
+	}
+	if d.L1 > 0 {
+		check(e.l1[core], md.L1BW, topology.ResL1)
+	}
+	if d.L2 > 0 {
+		check(e.l2[core], md.L2BW, topology.ResL2)
+	}
+	if d.L3 > 0 {
+		check(e.l3Link[core], md.L3LinkBW, topology.ResL3Link)
+		check(e.l3Agg[sock], md.L3AggBW, topology.ResL3Agg)
+	}
+	if d.DRAM > 0 {
+		for _, u := range j.memSockets {
+			check(e.dram[u], md.DRAMBW, topology.ResDRAM)
+			if u != sock {
+				check(e.ic[md.Topo.PairIndex(sock, u)], md.InterconnectBW, topology.ResInterconnect)
+			}
+		}
+	}
+	return best, kind
+}
+
+// iterate runs the refinement loop to convergence (§5.1-5.4) and reports
+// the iteration count and whether the utilisations stabilised.
+func (e *engine) iterate(opt Options) (int, bool) {
+	iters := 0
+	converged := false
+	for iter := 0; iter < opt.maxIters(); iter++ {
+		iters = iter + 1
+		e.accumulate()
+
+		// (i) Resource contention plus burstiness (§5.1).
+		for _, j := range e.jobs {
+			copy(j.prevF, j.f)
+			for i := range j.place {
+				s, kind := e.worstOversubscription(j, i)
+				if !opt.DisableBurstiness && j.w.Burstiness > 0 && e.coreOcc[j.coreOf[i]] > 1 {
+					s += j.w.Burstiness * s * j.f[i]
+				}
+				if s > j.sCap {
+					s = j.sCap
+				}
+				j.sRes[i] = s
+				j.sTot[i] = s
+				j.commPen[i] = 0
+				j.lbPen[i] = 0
+				j.bottleneck[i] = kind
+			}
+		}
+
+		// (ii) Off-socket communication, within each workload (§5.2).
+		for _, j := range e.jobs {
+			n := len(j.place)
+			if opt.DisableComm || j.w.InterSocketOverhead <= 0 || n <= 1 {
+				continue
+			}
+			var invSum float64
+			for i := 0; i < n; i++ {
+				invSum += 1 / j.sRes[i]
+			}
+			l := j.w.LoadBalance
+			for i := 0; i < n; i++ {
+				var lockstep, independent float64
+				for k := 0; k < n; k++ {
+					if k == i || j.place[k].Socket == j.place[i].Socket {
+						continue
+					}
+					lockstep += j.w.InterSocketOverhead
+					wk := (1 / j.sRes[k]) / invSum
+					independent += float64(n) * wk * j.w.InterSocketOverhead
+				}
+				comm := l*independent + (1-l)*lockstep
+				fMid := j.fInit / j.sRes[i]
+				j.sTot[i] = math.Min(j.sRes[i]+comm*fMid, j.sCap)
+				j.commPen[i] = j.sTot[i] - j.sRes[i]
+			}
+		}
+
+		// (iii) Load balancing, within each workload (§5.3).
+		for _, j := range e.jobs {
+			n := len(j.place)
+			if opt.DisableLoadBalance || n <= 1 {
+				continue
+			}
+			sMax := 0.0
+			for i := 0; i < n; i++ {
+				if j.sTot[i] > sMax {
+					sMax = j.sTot[i]
+				}
+			}
+			l := j.w.LoadBalance
+			for i := 0; i < n; i++ {
+				before := j.sTot[i]
+				j.sTot[i] = (1-l)*sMax + l*j.sTot[i]
+				j.lbPen[i] = j.sTot[i] - before
+			}
+		}
+
+		// Bound every value by the first iteration's maximum (§5.4).
+		if iter == 0 {
+			for _, j := range e.jobs {
+				j.sCap = 1
+				for _, s := range j.sTot {
+					if s > j.sCap {
+						j.sCap = s
+					}
+				}
+			}
+		}
+
+		// Feed forward (§5.4).
+		var maxDelta float64
+		for _, j := range e.jobs {
+			for i := range j.f {
+				next := j.fInit * (j.sRes[i] / j.sTot[i])
+				if iter >= opt.dampenAfter() {
+					next = (next + j.prevF[i]) / 2
+				}
+				if d := math.Abs(next - j.prevF[i]); d > maxDelta {
+					maxDelta = d
+				}
+				j.f[i] = next
+			}
+		}
+		if maxDelta < opt.tolerance() {
+			converged = true
+			break
+		}
+	}
+	return iters, converged
+}
+
+// prediction assembles one job's Prediction (§5.5).
+func (j *job) prediction(iters int, converged bool, loads map[topology.ResourceID]float64) (*Prediction, error) {
+	n := len(j.place)
+	var invSum float64
+	for i := 0; i < n; i++ {
+		invSum += 1 / j.sTot[i]
+	}
+	speedup := j.amdahl * invSum / float64(n)
+	if speedup <= 0 || math.IsNaN(speedup) {
+		return nil, fmt.Errorf("core: degenerate prediction for %q", j.w.Name)
+	}
+	return &Prediction{
+		Time:                 j.w.T1 / speedup,
+		Speedup:              speedup,
+		AmdahlSpeedup:        j.amdahl,
+		Slowdowns:            append([]float64(nil), j.sTot...),
+		ResourceSlowdowns:    append([]float64(nil), j.sRes...),
+		CommPenalties:        append([]float64(nil), j.commPen...),
+		LoadBalancePenalties: append([]float64(nil), j.lbPen...),
+		Utilizations:         append([]float64(nil), j.f...),
+		Bottlenecks:          append([]topology.ResourceKind(nil), j.bottleneck...),
+		Loads:                loads,
+		Iterations:           iters,
+		Converged:            converged,
+	}, nil
+}
+
+// loadsMap exports the engine's non-zero resource loads.
+func (e *engine) loadsMap() map[topology.ResourceID]float64 {
+	out := make(map[topology.ResourceID]float64)
+	put := func(id topology.ResourceID, v float64) {
+		if v > 0 {
+			out[id] = v
+		}
+	}
+	for core := 0; core < e.nCores; core++ {
+		put(topology.ResourceID{Kind: topology.ResInstr, Index: core}, e.instr[core])
+		put(topology.ResourceID{Kind: topology.ResL1, Index: core}, e.l1[core])
+		put(topology.ResourceID{Kind: topology.ResL2, Index: core}, e.l2[core])
+		put(topology.ResourceID{Kind: topology.ResL3Link, Index: core}, e.l3Link[core])
+	}
+	for s := 0; s < e.nSock; s++ {
+		put(topology.ResourceID{Kind: topology.ResL3Agg, Index: s}, e.l3Agg[s])
+		put(topology.ResourceID{Kind: topology.ResDRAM, Index: s}, e.dram[s])
+	}
+	for _, p := range e.md.Topo.SocketPairs() {
+		put(topology.ResourceID{Kind: topology.ResInterconnect, Pair: p},
+			e.ic[e.md.Topo.PairIndex(p.Lo, p.Hi)])
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pandia/internal/placement"
+)
+
+// Explain renders a prediction as the per-thread table of the paper's
+// worked example (Fig. 7): resource slowdown, communication penalty,
+// load-balance penalty, overall slowdown, and utilisation for every thread,
+// plus the headline numbers.
+func Explain(pred *Prediction, place placement.Placement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %9s %7s %7s %9s %6s  %s\n",
+		"thread", "context", "resource", "+comm", "+lb", "overall", "util", "bottleneck")
+	for i := range place {
+		fmt.Fprintf(&b, "%-12d %-12s %9.2f %7.2f %7.2f %9.2f %6.2f  %v\n",
+			i, place[i],
+			pred.ResourceSlowdowns[i], pred.CommPenalties[i], pred.LoadBalancePenalties[i],
+			pred.Slowdowns[i], pred.Utilizations[i], pred.Bottlenecks[i])
+	}
+	fmt.Fprintf(&b, "Amdahl speedup %.2fx, predicted speedup %.2fx, time %.4gs (%d iterations, converged=%v)\n",
+		pred.AmdahlSpeedup, pred.Speedup, pred.Time, pred.Iterations, pred.Converged)
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"pandia/internal/machine"
+)
+
+// GroupedPrediction predicts an application whose threads fall into groups
+// with distinct behaviour — the paper's first stated limitation (§6.4:
+// "Many applications consist of multiple thread types, such as a master
+// thread and n-1 slave threads... we suspect that more heterogeneous
+// workloads could be considered by identifying groups of threads").
+//
+// Each group carries its own workload description (demand vector, parallel
+// fraction, balancing, burstiness), profiled separately or derived by
+// splitting counters per thread type. The groups run concurrently as parts
+// of one application: all of them press on the shared resource loads, and
+// the application completes when its slowest group completes.
+type GroupedPrediction struct {
+	// Time is the application's predicted completion: the slowest group.
+	Time float64
+	// Critical is the index of the group that determines completion.
+	Critical int
+	// Groups holds each group's own prediction under the joint model.
+	Groups []*Prediction
+	// Joint is the underlying co-scheduling prediction (combined loads,
+	// worst over-subscription).
+	Joint *CoPrediction
+}
+
+// PredictGrouped jointly predicts the groups of one heterogeneous
+// application and combines them into an application-level completion time.
+func PredictGrouped(md *machine.Description, groups []PlacedWorkload, opt Options) (*GroupedPrediction, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no thread groups")
+	}
+	co, err := PredictCoSchedule(md, groups, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &GroupedPrediction{Groups: co.Predictions, Joint: co}
+	for i, p := range co.Predictions {
+		if p.Time > out.Time {
+			out.Time = p.Time
+			out.Critical = i
+		}
+	}
+	return out, nil
+}

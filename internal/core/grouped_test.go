@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"pandia/internal/counters"
+	"pandia/internal/placement"
+)
+
+// TestGroupedMasterWorker models the §6.4 scenario: one coordinating master
+// thread with modest demand plus a group of bandwidth-hungry workers.
+func TestGroupedMasterWorker(t *testing.T) {
+	md := toyMachine()
+	master := &Workload{
+		Name: "master", T1: 500,
+		Demand:       counters.Rates{Instr: 1, DRAM: 2},
+		ParallelFrac: 0, // a single coordinating thread does not scale
+	}
+	workers := &Workload{
+		Name: "workers", T1: 900,
+		Demand:       counters.Rates{Instr: 4, DRAM: 10},
+		ParallelFrac: 0.98, LoadBalance: 0.9,
+	}
+	groups := []PlacedWorkload{
+		{Workload: master, Placement: placement.Placement{{Socket: 0, Core: 0, Slot: 0}}},
+		{Workload: workers, Placement: placement.Placement{
+			{Socket: 0, Core: 1, Slot: 0},
+			{Socket: 1, Core: 0, Slot: 0},
+			{Socket: 1, Core: 1, Slot: 0},
+		}},
+	}
+	g, err := PredictGrouped(md, groups, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 2 {
+		t.Fatalf("groups = %d", len(g.Groups))
+	}
+	// The non-scaling master is the critical path here: workers finish
+	// their 900s of work 2.9x faster; the master takes its full 500s.
+	if g.Critical != 0 {
+		t.Errorf("critical group = %d, want the master", g.Critical)
+	}
+	if g.Time != g.Groups[0].Time {
+		t.Errorf("completion %g != critical group's %g", g.Time, g.Groups[0].Time)
+	}
+	if g.Time < 490 {
+		t.Errorf("master-bound completion %g suspiciously fast", g.Time)
+	}
+	if g.Joint == nil || g.Joint.WorstOversubscription <= 0 {
+		t.Error("joint state missing")
+	}
+}
+
+func TestGroupedValidation(t *testing.T) {
+	if _, err := PredictGrouped(toyMachine(), nil, Options{}); err == nil {
+		t.Error("empty group list accepted")
+	}
+}
+
+func TestGroupedSingleGroupMatchesPredict(t *testing.T) {
+	md := toyMachine()
+	w := exampleWorkload()
+	place := workedExamplePlacement()
+	g, err := PredictGrouped(md, []PlacedWorkload{{Workload: w, Placement: place}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Predict(md, w, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Time != solo.Time {
+		t.Errorf("grouped single = %g, Predict = %g", g.Time, solo.Time)
+	}
+}

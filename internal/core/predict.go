@@ -1,0 +1,101 @@
+package core
+
+import (
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// Options tunes the predictor. The zero value selects the paper's settings.
+// The Disable* flags exist for the ablation benchmarks called out in
+// DESIGN.md; production predictions leave them false.
+type Options struct {
+	// MaxIterations caps the refinement loop; 0 means the default (1000).
+	MaxIterations int
+	// DampenAfter engages the oscillation-dampening average after this
+	// many iterations (§5.4: "a dampening function engages after a 100
+	// iterations"); 0 means the default (100).
+	DampenAfter int
+	// Tolerance is the convergence threshold on the utilisation factors;
+	// 0 means the default (1e-9).
+	Tolerance float64
+
+	// SinglePass stops after the first iteration (ablation).
+	SinglePass bool
+	// DisableBurstiness drops the core-sharing term (ablation).
+	DisableBurstiness bool
+	// DisableComm drops the inter-socket communication penalty (ablation).
+	DisableComm bool
+	// DisableLoadBalance drops the load-balancing penalty (ablation).
+	DisableLoadBalance bool
+}
+
+func (o Options) maxIters() int {
+	if o.SinglePass {
+		return 1
+	}
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 1000
+}
+
+func (o Options) dampenAfter() int {
+	if o.DampenAfter > 0 {
+		return o.DampenAfter
+	}
+	return 100
+}
+
+func (o Options) tolerance() float64 {
+	if o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return 1e-9
+}
+
+// Prediction is the predictor's output for one placement.
+type Prediction struct {
+	// Time is the predicted execution time in seconds.
+	Time float64
+	// Speedup is the predicted speedup relative to the single-thread run.
+	Speedup float64
+	// AmdahlSpeedup is the ideal-scaling component of the prediction.
+	AmdahlSpeedup float64
+	// Slowdowns is the converged overall slowdown per thread.
+	Slowdowns []float64
+	// ResourceSlowdowns is the converged contention-only slowdown per
+	// thread (including the burstiness term).
+	ResourceSlowdowns []float64
+	// CommPenalties and LoadBalancePenalties are the converged additive
+	// slowdown contributions of the communication and load-balancing
+	// steps per thread (Fig. 7's "+ communication penalty" and "+ load
+	// balance penalty" rows).
+	CommPenalties        []float64
+	LoadBalancePenalties []float64
+	// Utilizations is the converged thread utilisation factor per thread.
+	Utilizations []float64
+	// Bottlenecks names each thread's dominant contended resource kind;
+	// ResInstr with slowdown 1.0 means unconstrained.
+	Bottlenecks []topology.ResourceKind
+	// Loads is the predicted demand on every resource the workload
+	// touches, at converged utilisations — the resource-consumption
+	// prediction the paper highlights for co-scheduling (§6.3, §8).
+	Loads map[topology.ResourceID]float64
+	// Iterations is how many refinement rounds ran; Converged reports
+	// whether the utilisations stabilised within tolerance.
+	Iterations int
+	Converged  bool
+}
+
+// Predict runs the iterative prediction of §5 for the workload placed as
+// given on the described machine.
+func Predict(md *machine.Description, w *Workload, place placement.Placement, opt Options) (*Prediction, error) {
+	e, err := newEngine(md, []PlacedWorkload{{Workload: w, Placement: place}})
+	if err != nil {
+		return nil, err
+	}
+	iters, converged := e.iterate(opt)
+	e.accumulate() // refresh loads at the converged utilisations
+	return e.jobs[0].prediction(iters, converged, e.loadsMap())
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pandia/internal/counters"
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// quickMachine is a fixed mid-size description for the property tests.
+func quickMachine() *machine.Description {
+	return &machine.Description{
+		Topo:          topology.X32(),
+		CorePeakInstr: 9.3, SMTFactor: 1.24,
+		L1BW: 200, L2BW: 90, L3LinkBW: 58, L3AggBW: 310,
+		DRAMBW: 46, InterconnectBW: 62,
+	}
+}
+
+// quickWorkload derives a valid random workload from raw bytes.
+func quickWorkload(a, b, c, d, e, f, g uint8) *Workload {
+	u := func(x uint8) float64 { return float64(x) / 255 }
+	return &Workload{
+		Name: "quick",
+		T1:   10 + 100*u(a),
+		Demand: counters.Rates{
+			Instr: 10 * u(b),
+			L1:    200 * u(c),
+			L2:    80 * u(c),
+			L3:    40 * u(d),
+			DRAM:  9 * u(d),
+		},
+		ParallelFrac:        u(e),
+		InterSocketOverhead: 0.05 * u(f),
+		LoadBalance:         u(g),
+		Burstiness:          0.8 * u(f),
+	}
+}
+
+// quickPlacement derives a valid random placement from raw bytes.
+func quickPlacement(m topology.Machine, seed uint16, n uint8) placement.Placement {
+	total := m.TotalContexts()
+	count := 1 + int(n)%total
+	// Choose `count` distinct context indices with a simple LCG.
+	x := uint32(seed)*2654435761 + 1
+	used := make(map[int]bool, count)
+	var p placement.Placement
+	for len(p) < count {
+		x = x*1664525 + 1013904223
+		idx := int(x>>8) % total
+		if used[idx] {
+			continue
+		}
+		used[idx] = true
+		p = append(p, m.ContextAt(idx))
+	}
+	return p
+}
+
+// Property: every prediction respects the model's bounds — speedup in
+// (0, Amdahl], slowdowns >= 1 and capped by the first iteration's maximum,
+// utilisations in (0, 1].
+func TestQuickPredictionBounds(t *testing.T) {
+	md := quickMachine()
+	f := func(a, b, c, d, e, ff, g uint8, seed uint16, n uint8) bool {
+		w := quickWorkload(a, b, c, d, e, ff, g)
+		place := quickPlacement(md.Topo, seed, n)
+		pred, err := Predict(md, w, place, Options{})
+		if err != nil {
+			return false
+		}
+		if pred.Speedup <= 0 || pred.Speedup > pred.AmdahlSpeedup+1e-9 {
+			return false
+		}
+		for i := range place {
+			if pred.Slowdowns[i] < 1-1e-9 {
+				return false
+			}
+			// Note: sTot versus sRes has no fixed per-thread ordering —
+			// the load-balance interpolation towards the slowest thread
+			// raises fast threads, while the first-iteration cap can trim
+			// a slow one — so only the >= 1 bound is asserted.
+			if pred.Utilizations[i] <= 0 || pred.Utilizations[i] > 1+1e-9 {
+				return false
+			}
+		}
+		return pred.Time > 0 && !math.IsNaN(pred.Time)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predictions are deterministic.
+func TestQuickPredictionDeterministic(t *testing.T) {
+	md := quickMachine()
+	f := func(a, b, c, d, e, ff, g uint8, seed uint16, n uint8) bool {
+		w := quickWorkload(a, b, c, d, e, ff, g)
+		place := quickPlacement(md.Topo, seed, n)
+		p1, err1 := Predict(md, w, place, Options{})
+		p2, err2 := Predict(md, w, place, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return p1.Speedup == p2.Speedup && p1.Time == p2.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling T1 scales the predicted time proportionally and leaves
+// the speedup unchanged (the model is scale-free in time units).
+func TestQuickTimeScaleInvariance(t *testing.T) {
+	md := quickMachine()
+	f := func(a, b, c, d, e, ff, g uint8, seed uint16, n uint8) bool {
+		w := quickWorkload(a, b, c, d, e, ff, g)
+		place := quickPlacement(md.Topo, seed, n)
+		p1, err := Predict(md, w, place, Options{})
+		if err != nil {
+			return true
+		}
+		w2 := *w
+		w2.T1 *= 3
+		p2, err := Predict(md, &w2, place, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(p2.Time-3*p1.Time) < 1e-6*p1.Time+1e-9 &&
+			math.Abs(p2.Speedup-p1.Speedup) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: socket-permutation symmetry — relabelling socket 0 as 1 leaves
+// the prediction unchanged on the homogeneous machine.
+func TestQuickSocketSymmetry(t *testing.T) {
+	md := quickMachine()
+	f := func(a, b, c, d, e, ff, g uint8, seed uint16, n uint8) bool {
+		w := quickWorkload(a, b, c, d, e, ff, g)
+		place := quickPlacement(md.Topo, seed, n)
+		flipped := make(placement.Placement, len(place))
+		for i, ctx := range place {
+			ctx.Socket = (ctx.Socket + 1) % md.Topo.Sockets
+			flipped[i] = ctx
+		}
+		p1, err1 := Predict(md, w, place, Options{})
+		p2, err2 := Predict(md, w, flipped, Options{})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return math.Abs(p1.Speedup-p2.Speedup) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a second workload to an empty machine corner never
+// speeds the first one up under the joint model.
+func TestQuickCoScheduleMonotone(t *testing.T) {
+	md := quickMachine()
+	f := func(a, b, c, d, e, ff, g uint8) bool {
+		w1 := quickWorkload(a, b, c, d, e, ff, g)
+		w2 := quickWorkload(b, c, d, e, ff, g, a)
+		w2.Name = "other"
+		p1 := placement.Placement{{Socket: 0, Core: 0, Slot: 0}, {Socket: 0, Core: 1, Slot: 0}}
+		p2 := placement.Placement{{Socket: 0, Core: 2, Slot: 0}, {Socket: 0, Core: 3, Slot: 0}}
+		solo, err := Predict(md, w1, p1, Options{})
+		if err != nil {
+			return true
+		}
+		co, err := PredictCoSchedule(md, []PlacedWorkload{
+			{Workload: w1, Placement: p1},
+			{Workload: w2, Placement: p2},
+		}, Options{})
+		if err != nil {
+			return false
+		}
+		return co.Predictions[0].Time >= solo.Time*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "pandia/internal/machine"
+
+// RescaledFor adapts a workload description measured on one machine for
+// prediction on another — an extension beyond the paper, addressing its §8
+// observation that portability "performs less well when going from a
+// lower-specification machine to a higher-specification machine... because
+// the initial single-thread resource demands will reflect the maximum
+// performance of resources in the lower-specification machine" (the paper
+// points to ESTIMA-style extrapolation as the likely fix).
+//
+// The heuristic: any demand that was close to the source machine's
+// capacity during profiling (within saturationFrac) was probably clipped by
+// that capacity rather than being the workload's intrinsic demand, so it is
+// scaled by the destination/source capacity ratio. Demands comfortably
+// below the source capacity are genuine and carry over unchanged. The
+// single-thread time is scaled by the dominant rescaled component so total
+// work stays consistent.
+func (w *Workload) RescaledFor(src, dst *machine.Description, saturationFrac float64) *Workload {
+	if saturationFrac <= 0 {
+		// A demand that was genuinely clipped measures within a few
+		// percent of the capacity (the testbed's queueing excess keeps it
+		// just below); demands merely near capacity stay under this.
+		saturationFrac = 0.93
+	}
+	out := *w
+	speedup := 1.0
+	scale := func(demand, capSrc, capDst float64) float64 {
+		if capSrc <= 0 || capDst <= 0 || demand < saturationFrac*capSrc {
+			return demand
+		}
+		ratio := capDst / capSrc
+		if ratio > 1 {
+			// The demand was capped at the source; uncap it proportionally
+			// and remember the speed gain for the time estimate.
+			if ratio > speedup {
+				speedup = ratio
+			}
+			return demand * ratio
+		}
+		return demand // moving down: the predictor's own capacities clip it
+	}
+	out.Demand.Instr = scale(w.Demand.Instr, src.CorePeakInstr, dst.CorePeakInstr)
+	out.Demand.L1 = scale(w.Demand.L1, src.L1BW, dst.L1BW)
+	out.Demand.L2 = scale(w.Demand.L2, src.L2BW, dst.L2BW)
+	out.Demand.L3 = scale(w.Demand.L3, src.L3LinkBW, dst.L3LinkBW)
+	out.Demand.DRAM = scale(w.Demand.DRAM, src.DRAMBW, dst.DRAMBW)
+	// A single-thread run capped on some resource finishes faster once the
+	// cap lifts; the demand rates above already reflect the faster pace.
+	out.T1 = w.T1 / speedup
+	return &out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pandia/internal/counters"
+	"pandia/internal/machine"
+	"pandia/internal/topology"
+)
+
+func mdWith(peak, l1, dram float64) *machine.Description {
+	return &machine.Description{
+		Topo: topology.X32(), CorePeakInstr: peak, SMTFactor: 1.25,
+		L1BW: l1, L2BW: 100, L3LinkBW: 60, L3AggBW: 300, DRAMBW: dram, InterconnectBW: 60,
+	}
+}
+
+func TestRescaleUncapsSaturatedDemands(t *testing.T) {
+	src := mdWith(8, 200, 40)
+	dst := mdWith(12, 300, 60)
+	w := &Workload{
+		Name: "capped", T1: 100,
+		Demand:       counters.Rates{Instr: 7.8, L1: 100, DRAM: 10},
+		ParallelFrac: 0.95,
+	}
+	r := w.RescaledFor(src, dst, 0.85)
+	// Instr was at 97% of the source peak: capped -> scaled by 12/8.
+	if math.Abs(r.Demand.Instr-7.8*1.5) > 1e-9 {
+		t.Errorf("instr rescaled to %g, want %g", r.Demand.Instr, 7.8*1.5)
+	}
+	// L1 at 50% and DRAM at 25% of source capacity: intrinsic, unchanged.
+	if r.Demand.L1 != 100 || r.Demand.DRAM != 10 {
+		t.Errorf("unsaturated demands changed: %+v", r.Demand)
+	}
+	// The capped run finishes faster once uncapped.
+	if math.Abs(r.T1-100/1.5) > 1e-9 {
+		t.Errorf("T1 rescaled to %g, want %g", r.T1, 100/1.5)
+	}
+	// Original untouched.
+	if w.Demand.Instr != 7.8 || w.T1 != 100 {
+		t.Error("RescaledFor mutated its receiver")
+	}
+}
+
+func TestRescaleDownLeavesDemands(t *testing.T) {
+	src := mdWith(12, 300, 60)
+	dst := mdWith(8, 200, 40)
+	w := &Workload{
+		Name: "down", T1: 100,
+		Demand:       counters.Rates{Instr: 11.5, DRAM: 55},
+		ParallelFrac: 0.9,
+	}
+	r := w.RescaledFor(src, dst, 0.85)
+	if r.Demand != w.Demand || r.T1 != w.T1 {
+		t.Errorf("downward rescale changed the description: %+v", r)
+	}
+}
+
+func TestRescaleDefaultFraction(t *testing.T) {
+	src := mdWith(8, 200, 40)
+	dst := mdWith(16, 200, 40)
+	w := &Workload{Name: "d", T1: 10, Demand: counters.Rates{Instr: 7.6}, ParallelFrac: 1}
+	r := w.RescaledFor(src, dst, 0)
+	if r.Demand.Instr != 15.2 {
+		t.Errorf("default fraction: instr = %g, want 15.2", r.Demand.Instr)
+	}
+}

@@ -1,0 +1,146 @@
+package counters
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Sample {
+	return Sample{
+		Elapsed:           2,
+		Instructions:      14,
+		L1Bytes:           200,
+		L2Bytes:           100,
+		L3Bytes:           60,
+		DRAMBytes:         80,
+		InterconnectBytes: 20,
+		Threads:           2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid sample rejected: %v", err)
+	}
+	bad := sample()
+	bad.Elapsed = 0
+	if bad.Validate() == nil {
+		t.Error("zero elapsed accepted")
+	}
+	bad = sample()
+	bad.DRAMBytes = -1
+	if bad.Validate() == nil {
+		t.Error("negative dram accepted")
+	}
+	bad = sample()
+	bad.Threads = -2
+	if bad.Validate() == nil {
+		t.Error("negative threads accepted")
+	}
+}
+
+func TestRates(t *testing.T) {
+	r := sample().Rates()
+	want := Rates{Instr: 7, L1: 100, L2: 50, L3: 30, DRAM: 40, Interconnect: 10}
+	if r != want {
+		t.Fatalf("Rates() = %+v, want %+v", r, want)
+	}
+}
+
+func TestRatesZeroElapsed(t *testing.T) {
+	s := Sample{Elapsed: 0, Instructions: 5}
+	if got := s.Rates(); got != (Rates{}) {
+		t.Errorf("Rates with zero elapsed = %+v, want zero", got)
+	}
+}
+
+func TestPerThreadRates(t *testing.T) {
+	r := sample().PerThreadRates()
+	if r.Instr != 3.5 || r.DRAM != 20 {
+		t.Fatalf("PerThreadRates = %+v", r)
+	}
+	one := sample()
+	one.Threads = 1
+	if got := one.PerThreadRates(); got != one.Rates() {
+		t.Errorf("single-thread PerThreadRates = %+v, want whole-workload rates", got)
+	}
+	zero := sample()
+	zero.Threads = 0
+	if got := zero.PerThreadRates(); got != zero.Rates() {
+		t.Errorf("zero-thread PerThreadRates = %+v, want whole-workload rates", got)
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	a := Rates{Instr: 1, L1: 2, L2: 3, L3: 4, DRAM: 5, Interconnect: 6}
+	b := a.Scale(2)
+	if b.L3 != 8 || b.Instr != 2 {
+		t.Errorf("Scale = %+v", b)
+	}
+	c := a.Add(b)
+	if c.DRAM != 15 || c.Interconnect != 18 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestMax(t *testing.T) {
+	r := Rates{Instr: 7, L1: 1, L2: 2, L3: 3, DRAM: 40, Interconnect: 5}
+	if got := r.Max(); got != 40 {
+		t.Errorf("Max = %g, want 40", got)
+	}
+	r2 := Rates{Instr: 9}
+	if got := r2.Max(); got != 9 {
+		t.Errorf("Max = %g, want 9", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := (Rates{Instr: 7}).String()
+	if !strings.Contains(s, "instr=7.00") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: Scale distributes over Add.
+func TestQuickScaleAddDistributive(t *testing.T) {
+	f := func(a, b Rates, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) || math.Abs(k) > 1e6 {
+			return true
+		}
+		for _, v := range []float64{a.Instr, a.DRAM, b.Instr, b.DRAM, a.L1, b.L1, a.L2, b.L2, a.L3, b.L3, a.Interconnect, b.Interconnect} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		lhs := a.Add(b).Scale(k)
+		rhs := a.Scale(k).Add(b.Scale(k))
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-6*(1+math.Abs(x)+math.Abs(y))
+		}
+		return close(lhs.Instr, rhs.Instr) && close(lhs.L1, rhs.L1) &&
+			close(lhs.L2, rhs.L2) && close(lhs.L3, rhs.L3) &&
+			close(lhs.DRAM, rhs.DRAM) && close(lhs.Interconnect, rhs.Interconnect)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rates derived from a valid sample are non-negative and
+// proportional to 1/elapsed.
+func TestQuickRatesScaleWithElapsed(t *testing.T) {
+	f := func(instr, dram uint16, elapsedQ uint8) bool {
+		e := 1 + float64(elapsedQ)
+		s := Sample{Elapsed: e, Instructions: float64(instr), DRAMBytes: float64(dram), Threads: 1}
+		r := s.Rates()
+		s2 := s
+		s2.Elapsed = 2 * e
+		r2 := s2.Rates()
+		return math.Abs(r.Instr-2*r2.Instr) < 1e-9 && math.Abs(r.DRAM-2*r2.DRAM) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pandia/internal/bench"
+	"pandia/internal/placement"
+	"pandia/internal/simhw"
+	"pandia/internal/stress"
+)
+
+// WorkloadErrors is one row of an error summary (one bar group of Fig. 11).
+type WorkloadErrors struct {
+	Workload    string
+	Metrics     Metrics
+	BestGap     float64
+	PeakThreads int
+}
+
+// Summary aggregates an error summary over a workload set on one machine
+// (Fig. 11a-d) plus the §6.1 headline numbers.
+type Summary struct {
+	Machine     string
+	Source      string // machine whose workload descriptions were used
+	PerWorkload []WorkloadErrors
+	// MeanBestGap/MedianBestGap summarise the §6.1 comparison between the
+	// fastest predicted and fastest measured placements.
+	MeanBestGap   float64
+	MedianBestGap float64
+	// MedianErr/MedianOffsetErr are medians of the per-workload medians.
+	MedianErr       float64
+	MedianOffsetErr float64
+	// FracPeakBelowMax is the fraction of workloads whose fastest measured
+	// placement uses fewer threads than the machine offers.
+	FracPeakBelowMax float64
+}
+
+// ErrorSummary evaluates every workload on the harness's machine with its
+// own profiled description (Fig. 11a-b).
+func ErrorSummary(h *Harness, entries []bench.Entry) (*Summary, error) {
+	curves := make([]*Curve, len(entries))
+	for i, e := range entries {
+		c, err := h.CurveFor(e)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = c
+	}
+	return summarise(h, entries, curves, h.Key), nil
+}
+
+// Portability profiles the workloads on the src machine and predicts the
+// dst machine's placements with those descriptions (Fig. 11c-d).
+func Portability(src, dst *Harness, entries []bench.Entry) (*Summary, error) {
+	curves := make([]*Curve, len(entries))
+	for i, e := range entries {
+		prof, err := src.Profile(e)
+		if err != nil {
+			return nil, err
+		}
+		c, err := dst.CurveWith(e, &prof.Workload, prof.Cost)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = c
+	}
+	return summarise(dst, entries, curves, src.Key), nil
+}
+
+// PortabilityRescaled is Portability with the ESTIMA-inspired description
+// rescaling applied (core.Workload.RescaledFor): demands that were capped
+// by the source machine's capacities are scaled up by the destination's
+// headroom, addressing the paper's §8 low-to-high-spec weakness.
+func PortabilityRescaled(src, dst *Harness, entries []bench.Entry) (*Summary, error) {
+	curves := make([]*Curve, len(entries))
+	for i, e := range entries {
+		prof, err := src.Profile(e)
+		if err != nil {
+			return nil, err
+		}
+		rescaled := prof.Workload.RescaledFor(src.MD, dst.MD, 0)
+		c, err := dst.CurveWith(e, rescaled, prof.Cost)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = c
+	}
+	s := summarise(dst, entries, curves, src.Key)
+	s.Source = src.Key + "+rescaled"
+	return s, nil
+}
+
+func summarise(h *Harness, entries []bench.Entry, curves []*Curve, source string) *Summary {
+	s := &Summary{Machine: h.Key, Source: source}
+	maxThreads := h.TB.Machine().TotalContexts()
+	var gaps, medians, offsets []float64
+	below := 0
+	for i, c := range curves {
+		m := c.Metrics()
+		row := WorkloadErrors{
+			Workload:    entries[i].Name,
+			Metrics:     m,
+			BestGap:     c.BestGap(),
+			PeakThreads: c.PeakThreads(),
+		}
+		s.PerWorkload = append(s.PerWorkload, row)
+		gaps = append(gaps, row.BestGap)
+		medians = append(medians, m.MedianErr)
+		offsets = append(offsets, m.OffsetMedian)
+		// Count a workload as peaking below the full machine only when its
+		// best placement beats the best full-machine placement by more
+		// than the measurement noise (2%), so flat plateaus do not count.
+		if c.PeaksBelowMax(maxThreads, 0.02) {
+			below++
+		}
+	}
+	s.MeanBestGap = mean(gaps)
+	s.MedianBestGap = median(gaps)
+	s.MedianErr = median(medians)
+	s.MedianOffsetErr = median(offsets)
+	if len(curves) > 0 {
+		s.FracPeakBelowMax = float64(below) / float64(len(curves))
+	}
+	return s
+}
+
+// FourSocketRow is one workload's mean errors in the three placement
+// classes of the X2-4 experiment (Fig. 12).
+type FourSocketRow struct {
+	Workload   string
+	TwoSocket  float64
+	TwentyCore float64
+	Whole      float64
+}
+
+// FourSocket reproduces Fig. 12: mean errors on the 4-socket machine for
+// placements using at most two sockets, at most twenty cores, and the whole
+// machine.
+func FourSocket(h *Harness, entries []bench.Entry) ([]FourSocketRow, error) {
+	// Partition the evaluation shapes into the three (nested) classes.
+	var twoSocketIdx, twentyCoreIdx, allIdx []int
+	for i, s := range h.Shapes {
+		allIdx = append(allIdx, i)
+		if s.SocketsUsed() <= 2 {
+			twoSocketIdx = append(twoSocketIdx, i)
+		}
+		if s.Cores() <= 20 {
+			twentyCoreIdx = append(twentyCoreIdx, i)
+		}
+	}
+	subset := func(xs []float64, idx []int) []float64 {
+		out := make([]float64, len(idx))
+		for i, j := range idx {
+			out[i] = xs[j]
+		}
+		return out
+	}
+	var rows []FourSocketRow
+	for _, e := range entries {
+		c, err := h.CurveFor(e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FourSocketRow{
+			Workload:   e.Name,
+			TwoSocket:  ComputeMetrics(subset(c.Measured, twoSocketIdx), subset(c.Predicted, twoSocketIdx)).MeanErr,
+			TwentyCore: ComputeMetrics(subset(c.Measured, twentyCoreIdx), subset(c.Predicted, twentyCoreIdx)).MeanErr,
+			Whole:      ComputeMetrics(subset(c.Measured, allIdx), subset(c.Predicted, allIdx)).MeanErr,
+		})
+	}
+	return rows, nil
+}
+
+// TurboPoint is one sample of the Fig. 14 study.
+type TurboPoint struct {
+	Threads       int
+	PerThreadRate float64
+}
+
+// TurboCurves are the three lines of Fig. 14: Turbo Boost with idle cores
+// truly idle, Turbo Boost with a background load on otherwise-idle cores,
+// and Turbo Boost disabled.
+type TurboCurves struct {
+	TurboIdle       []TurboPoint
+	TurboBackground []TurboPoint
+	Nominal         []TurboPoint
+}
+
+// TurboStudy measures the instruction rate of a CPU-bound loop at every
+// thread count (one thread per core up to the core count, then two per
+// core), under the three power regimes of Fig. 14.
+func TurboStudy(tb *simhw.Testbed) (*TurboCurves, error) {
+	topo := tb.Machine()
+	out := &TurboCurves{}
+	app := stress.App(stress.CPU, tb.L3SizeMB(), 1)
+	for n := 1; n <= topo.TotalContexts(); n++ {
+		place, err := placement.Spread(topo, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []struct {
+			power simhw.PowerMode
+			dst   *[]TurboPoint
+		}{
+			{simhw.PowerTurbo, &out.TurboIdle},
+			{simhw.PowerFilled, &out.TurboBackground},
+			{simhw.PowerNominal, &out.Nominal},
+		} {
+			res, err := tb.Run(simhw.RunConfig{Workload: app, Placement: place, Power: mode.power})
+			if err != nil {
+				return nil, fmt.Errorf("eval: turbo study at %d threads: %w", n, err)
+			}
+			*mode.dst = append(*mode.dst, TurboPoint{
+				Threads:       n,
+				PerThreadRate: res.Sample.Rates().Instr / float64(n),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SweepRow compares the simple packed/spread sweep baseline against
+// Pandia's six profiling runs for one workload (§6.3).
+type SweepRow struct {
+	Workload string
+	// SweepCost and ProfileCost are machine seconds spent exploring.
+	SweepCost   float64
+	ProfileCost float64
+	// CostRatio is SweepCost / ProfileCost (the paper reports 8.0x, 4.2x,
+	// 4.0x on the X5-2, X4-2, X3-2).
+	CostRatio float64
+	// FoundBest reports whether the sweep's fastest placement is exactly
+	// the overall fastest measured placement; NearBest tolerates 2% to
+	// absorb measurement-noise ties on flat optima.
+	FoundBest bool
+	NearBest  bool
+	// SweepBestGap is how much slower the sweep's best placement is than
+	// the overall best, in percent.
+	SweepBestGap float64
+}
+
+// SweepSummary aggregates the sweep study over a workload set.
+type SweepSummary struct {
+	Machine        string
+	Rows           []SweepRow
+	MeanCostRatio  float64
+	FoundBestCount int
+	NearBestCount  int
+}
+
+// SweepStudy reproduces the §6.3 comparison: explore packed and spread
+// placements at every thread count, and compare cost and outcome against
+// Pandia's profiling.
+func SweepStudy(h *Harness, entries []bench.Entry) (*SweepSummary, error) {
+	topo := h.TB.Machine()
+	sweepKeys := make(map[string]bool)
+	for _, s := range placement.SweepShapes(topo) {
+		sweepKeys[s.Key()] = true
+	}
+	out := &SweepSummary{Machine: h.Key}
+	var ratios []float64
+	for _, e := range entries {
+		c, err := h.CurveFor(e)
+		if err != nil {
+			return nil, err
+		}
+		var sweepCost float64
+		sweepBest, sweepBestKey := math.Inf(1), ""
+		trueBest, trueBestKey := math.Inf(1), ""
+		for i, s := range c.Shapes {
+			k := s.Key()
+			if sweepKeys[k] {
+				sweepCost += c.Measured[i]
+				if c.Measured[i] < sweepBest {
+					sweepBest, sweepBestKey = c.Measured[i], k
+				}
+			}
+			if c.Measured[i] < trueBest {
+				trueBest, trueBestKey = c.Measured[i], k
+			}
+		}
+		gap := 100 * (sweepBest - trueBest) / trueBest
+		row := SweepRow{
+			Workload:     e.Name,
+			SweepCost:    sweepCost,
+			ProfileCost:  c.ProfileCost,
+			FoundBest:    sweepBestKey == trueBestKey,
+			NearBest:     sweepBestKey == trueBestKey || gap <= 2.0,
+			SweepBestGap: gap,
+		}
+		if c.ProfileCost > 0 {
+			row.CostRatio = sweepCost / c.ProfileCost
+		}
+		out.Rows = append(out.Rows, row)
+		ratios = append(ratios, row.CostRatio)
+		if row.FoundBest {
+			out.FoundBestCount++
+		}
+		if row.NearBest {
+			out.NearBestCount++
+		}
+	}
+	out.MeanCostRatio = mean(ratios)
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pandia/internal/bench"
+)
+
+// TestGoldenReproductionShapes is the regression guard for the whole
+// reproduction: it runs the full zoo on the exhaustive X3-2 harness and
+// asserts the paper-shaped headline properties that EXPERIMENTS.md records.
+// If a change to the model, the profiler, the testbed physics, or the zoo
+// breaks one of the paper's qualitative results, this test names it.
+func TestGoldenReproductionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo evaluation; skipped with -short")
+	}
+	h := x32Harness(t)
+	zoo := bench.Zoo()
+	s, err := ErrorSummary(h, zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper X3-2: median error 3.8%, offset 1.5% (Fig. 11b). Allow head
+	// room but keep the single-digit regime.
+	if s.MedianErr > 8 {
+		t.Errorf("median error %.1f%% left the paper's single-digit regime", s.MedianErr)
+	}
+	if s.MedianOffsetErr > s.MedianErr {
+		t.Errorf("offset error %.1f%% above raw error %.1f%%; trend accuracy regressed",
+			s.MedianOffsetErr, s.MedianErr)
+	}
+	// §6.1: the placement Pandia picks is within a few percent of the best.
+	if s.MeanBestGap > 6 {
+		t.Errorf("mean best-placement gap %.1f%%, want a few percent", s.MeanBestGap)
+	}
+	// Development-set workloads must not be outliers: the paper's split
+	// exists to show the techniques generalise; both halves should land in
+	// the same error regime.
+	var devMax float64
+	for i, e := range zoo {
+		if e.Development && s.PerWorkload[i].Metrics.MedianErr > devMax {
+			devMax = s.PerWorkload[i].Metrics.MedianErr
+		}
+	}
+	if devMax > 12 {
+		t.Errorf("development workload error %.1f%% out of regime", devMax)
+	}
+
+	// equake (§6.3): mild on the small machine, clear on the large one.
+	eq := bench.Equake()
+	small, err := h.CurveFor(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewHarness("x5-2", 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeCurve, err := large.CurveFor(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallErr := small.Metrics().MedianErr
+	largeErr := largeCurve.Metrics().MedianErr
+	if largeErr < 1.5*smallErr {
+		t.Errorf("equake error on X5-2 (%.1f%%) not clearly above X3-2 (%.1f%%)", largeErr, smallErr)
+	}
+
+	// §6.3 sweep: several times costlier than six profiling runs.
+	sw, err := SweepStudy(h, zoo[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.MeanCostRatio < 2 {
+		t.Errorf("sweep cost ratio %.1fx, want well above 1 (paper: 4.0x)", sw.MeanCostRatio)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	h := x32Harness(t)
+	e, _ := bench.ByName("EP")
+	s, err := ErrorSummary(h, []bench.Entry{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReport()
+	r.AddSummary(s)
+	sw, err := SweepStudy(h, []bench.Entry{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Sweeps[h.Key] = sw
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Summaries["x3-2"]
+	if !ok {
+		t.Fatalf("summary lost in round trip: %v", back.Summaries)
+	}
+	if got.MedianErr != s.MedianErr {
+		t.Errorf("median error %g != %g after round trip", got.MedianErr, s.MedianErr)
+	}
+	if back.Sweeps["x3-2"].MeanCostRatio != sw.MeanCostRatio {
+		t.Error("sweep lost in round trip")
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing report accepted")
+	}
+}
+
+func TestReportPortabilityKey(t *testing.T) {
+	r := NewReport()
+	r.AddSummary(&Summary{Machine: "x5-2", Source: "x3-2"})
+	if _, ok := r.Summaries["x5-2<-x3-2"]; !ok {
+		t.Errorf("portability key missing: %v", r.Summaries)
+	}
+}

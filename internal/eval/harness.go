@@ -1,0 +1,257 @@
+// Package eval reproduces the paper's evaluation (§6): measured-versus-
+// predicted placement curves for every workload (Figs. 1, 10, 13), error
+// summaries (Figs. 11-12), the Turbo Boost study (Fig. 14), and the
+// best-placement and sweep-baseline tables of §6.1 and §6.3.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pandia/internal/bench"
+	"pandia/internal/core"
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/simhw"
+	"pandia/internal/workload"
+)
+
+// Harness binds one simulated machine to everything the experiments need:
+// its measured description, the canonical placement set under evaluation,
+// and caches of profiles and measured run times. It is safe for concurrent
+// use.
+type Harness struct {
+	// Key is the machine's model code ("x5-2", ...).
+	Key string
+	// TB is the simulated machine.
+	TB *simhw.Testbed
+	// MD is its measured description.
+	MD *machine.Description
+	// Shapes is the evaluation placement set: the canonical space, sampled
+	// down on large machines, always including the sweep placements so the
+	// §6.3 comparison is meaningful.
+	Shapes []placement.Shape
+	// Seed drives sampling and measurement noise.
+	Seed int64
+
+	mu       sync.Mutex
+	profiles map[string]*workload.Profile
+	measured map[string][]float64 // workload name -> times aligned with Shapes
+}
+
+// DefaultMaxPlacements mirrors the paper's coverage: exhaustive on the
+// small machines, ~20% samples (a few thousand placements) on the large
+// ones (§6.1-6.2).
+func DefaultMaxPlacements(key string) int {
+	switch key {
+	case "x5-2", "x2-4":
+		return 3000
+	default:
+		return 0 // exhaustive
+	}
+}
+
+// NewHarness builds the harness for one of the preset machines.
+func NewHarness(key string, maxPlacements int, seed int64) (*Harness, error) {
+	truths := simhw.Truths()
+	mt, ok := truths[key]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown machine %q", key)
+	}
+	tb, err := simhw.NewTestbed(mt)
+	if err != nil {
+		return nil, err
+	}
+	md, err := machine.Describe(tb)
+	if err != nil {
+		return nil, err
+	}
+	topo := tb.Machine()
+	shapes := placement.Enumerate(topo)
+	if maxPlacements > 0 {
+		shapes = placement.Sample(shapes, maxPlacements, seed)
+	}
+	// Keep the sweep placements in the evaluation set.
+	have := make(map[string]bool, len(shapes))
+	for _, s := range shapes {
+		have[s.Key()] = true
+	}
+	for _, s := range placement.SweepShapes(topo) {
+		if !have[s.Key()] {
+			shapes = append(shapes, s)
+			have[s.Key()] = true
+		}
+	}
+	placement.SortShapes(shapes)
+	return &Harness{
+		Key: key, TB: tb, MD: md, Shapes: shapes, Seed: seed,
+		profiles: make(map[string]*workload.Profile),
+		measured: make(map[string][]float64),
+	}, nil
+}
+
+// Profile returns the workload's six-run profile, cached per workload.
+func (h *Harness) Profile(e bench.Entry) (*workload.Profile, error) {
+	h.mu.Lock()
+	if p, ok := h.profiles[e.Name]; ok {
+		h.mu.Unlock()
+		return p, nil
+	}
+	h.mu.Unlock()
+	prof, err := (&workload.Profiler{TB: h.TB, MD: h.MD, Seed: h.Seed}).Profile(e.Truth)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.profiles[e.Name] = prof
+	h.mu.Unlock()
+	return prof, nil
+}
+
+// MeasureAll runs the workload on every evaluation shape, returning times
+// aligned with h.Shapes. Results are cached per workload.
+func (h *Harness) MeasureAll(e bench.Entry) ([]float64, error) {
+	h.mu.Lock()
+	if m, ok := h.measured[e.Name]; ok {
+		h.mu.Unlock()
+		return m, nil
+	}
+	h.mu.Unlock()
+
+	times := make([]float64, len(h.Shapes))
+	topo := h.TB.Machine()
+	err := parallelEach(len(h.Shapes), func(i int) error {
+		res, err := h.TB.Run(simhw.RunConfig{
+			Workload:  e.Truth,
+			Placement: h.Shapes[i].Expand(topo),
+			Power:     simhw.PowerFilled,
+			Seed:      h.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("eval: measuring %s on %v: %w", e.Name, h.Shapes[i], err)
+		}
+		times[i] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.measured[e.Name] = times
+	h.mu.Unlock()
+	return times, nil
+}
+
+// PredictAll predicts the workload on every evaluation shape using the
+// given description (possibly from another machine, for the portability
+// experiments), returning times aligned with h.Shapes.
+func (h *Harness) PredictAll(w *core.Workload) ([]float64, error) {
+	times := make([]float64, len(h.Shapes))
+	topo := h.TB.Machine()
+	err := parallelEach(len(h.Shapes), func(i int) error {
+		pred, err := core.Predict(h.MD, w, h.Shapes[i].Expand(topo), core.Options{})
+		if err != nil {
+			return fmt.Errorf("eval: predicting %s on %v: %w", w.Name, h.Shapes[i], err)
+		}
+		times[i] = pred.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return times, nil
+}
+
+// Curve is one workload's measured-versus-predicted placement curve
+// (Figs. 1 and 10): times aligned with the harness's shape set.
+type Curve struct {
+	Machine   string
+	Workload  string
+	Shapes    []placement.Shape
+	Measured  []float64
+	Predicted []float64
+	// ProfileCost is the machine time the six profiling runs took.
+	ProfileCost float64
+	// Description is the profiled workload model used for the predictions.
+	Description core.Workload
+}
+
+// CurveFor profiles the workload on this machine and evaluates the full
+// placement curve.
+func (h *Harness) CurveFor(e bench.Entry) (*Curve, error) {
+	prof, err := h.Profile(e)
+	if err != nil {
+		return nil, err
+	}
+	return h.CurveWith(e, &prof.Workload, prof.Cost)
+}
+
+// CurveWith evaluates the placement curve using an externally supplied
+// workload description (the portability experiments of Fig. 11c-d).
+func (h *Harness) CurveWith(e bench.Entry, w *core.Workload, profileCost float64) (*Curve, error) {
+	meas, err := h.MeasureAll(e)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := h.PredictAll(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{
+		Machine:     h.Key,
+		Workload:    e.Name,
+		Shapes:      h.Shapes,
+		Measured:    meas,
+		Predicted:   pred,
+		ProfileCost: profileCost,
+		Description: *w,
+	}, nil
+}
+
+// parallelEach runs fn(i) for i in [0,n) across the available CPUs and
+// returns the first error.
+func parallelEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	idx := make(chan int, workers)
+	go func() {
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the machine-readable form of a full evaluation run, for
+// plotting pipelines and regression tracking across changes to the model or
+// the zoo.
+type Report struct {
+	// Summaries holds the Fig. 11-style error summaries, keyed by
+	// "machine" or "machine<-source" for portability runs.
+	Summaries map[string]*Summary `json:"summaries,omitempty"`
+	// FourSocket is the Fig. 12 table.
+	FourSocket []FourSocketRow `json:"fourSocket,omitempty"`
+	// Sweeps holds the §6.3 comparisons keyed by machine.
+	Sweeps map[string]*SweepSummary `json:"sweeps,omitempty"`
+	// Ablations is the DESIGN.md ablation table.
+	Ablations []AblationRow `json:"ablations,omitempty"`
+	// Turbo is the Fig. 14 study.
+	Turbo *TurboCurves `json:"turbo,omitempty"`
+}
+
+// NewReport allocates an empty report.
+func NewReport() *Report {
+	return &Report{
+		Summaries: make(map[string]*Summary),
+		Sweeps:    make(map[string]*SweepSummary),
+	}
+}
+
+// AddSummary files an error summary under its machine (and source machine,
+// for portability runs).
+func (r *Report) AddSummary(s *Summary) {
+	key := s.Machine
+	if s.Source != "" && s.Source != s.Machine {
+		key = fmt.Sprintf("%s<-%s", s.Machine, s.Source)
+	}
+	r.Summaries[key] = s
+}
+
+// Save writes the report as indented JSON.
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("eval: encoding report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("eval: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadReport reads a report back.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("eval: reading %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("eval: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metrics quantifies the prediction quality of one curve with the paper's
+// two measures (§6.1): the absolute difference between predicted and
+// measured normalised performance as a percentage of the measured value,
+// and the "offset error" where the mean difference is removed first, which
+// measures trend accuracy.
+type Metrics struct {
+	MeanErr      float64
+	MedianErr    float64
+	OffsetMean   float64
+	OffsetMedian float64
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("mean=%.1f%% median=%.1f%% offsetMean=%.1f%% offsetMedian=%.1f%%",
+		m.MeanErr, m.MedianErr, m.OffsetMean, m.OffsetMedian)
+}
+
+// Normalize converts execution times into the paper's normalised speedup:
+// best (smallest) time over each time, so the best placement scores 1.
+func Normalize(times []float64) []float64 {
+	best := math.Inf(1)
+	for _, t := range times {
+		if t < best {
+			best = t
+		}
+	}
+	out := make([]float64, len(times))
+	for i, t := range times {
+		out[i] = best / t
+	}
+	return out
+}
+
+// ComputeMetrics evaluates the error metrics for one curve of measured and
+// predicted times (aligned slices).
+func ComputeMetrics(measured, predicted []float64) Metrics {
+	if len(measured) != len(predicted) || len(measured) == 0 {
+		return Metrics{}
+	}
+	meas := Normalize(measured)
+	pred := Normalize(predicted)
+
+	errs := make([]float64, len(meas))
+	var offset float64
+	for i := range meas {
+		errs[i] = 100 * math.Abs(pred[i]-meas[i]) / meas[i]
+		offset += meas[i] - pred[i]
+	}
+	offset /= float64(len(meas))
+
+	offErrs := make([]float64, len(meas))
+	for i := range meas {
+		offErrs[i] = 100 * math.Abs(pred[i]+offset-meas[i]) / meas[i]
+	}
+	return Metrics{
+		MeanErr:      mean(errs),
+		MedianErr:    median(errs),
+		OffsetMean:   mean(offErrs),
+		OffsetMedian: median(offErrs),
+	}
+}
+
+// Metrics computes the curve's error metrics.
+func (c *Curve) Metrics() Metrics { return ComputeMetrics(c.Measured, c.Predicted) }
+
+// BestGap returns the §6.1 headline number for this curve: how much slower
+// the placement Pandia predicts to be fastest actually is, as a percentage
+// of the truly fastest measured placement.
+func (c *Curve) BestGap() float64 {
+	bestMeas, measAtBestPred := math.Inf(1), math.Inf(1)
+	bestPred := math.Inf(1)
+	for i := range c.Measured {
+		if c.Measured[i] < bestMeas {
+			bestMeas = c.Measured[i]
+		}
+		if c.Predicted[i] < bestPred {
+			bestPred = c.Predicted[i]
+			measAtBestPred = c.Measured[i]
+		}
+	}
+	if !(bestMeas > 0) {
+		return 0
+	}
+	return 100 * (measAtBestPred - bestMeas) / bestMeas
+}
+
+// PeakThreads returns the thread count of the fastest measured placement
+// (§6.1: on larger machines the peak is less likely to use every thread).
+func (c *Curve) PeakThreads() int {
+	best, threads := math.Inf(1), 0
+	for i := range c.Measured {
+		if c.Measured[i] < best {
+			best = c.Measured[i]
+			threads = c.Shapes[i].Threads()
+		}
+	}
+	return threads
+}
+
+// PeaksBelowMax reports whether the workload genuinely peaks below the full
+// machine: the fastest measured placement beats the fastest full-machine
+// placement by more than the threshold fraction (filtering out noise ties
+// on flat plateaus). maxThreads is the machine's context count.
+func (c *Curve) PeaksBelowMax(maxThreads int, threshold float64) bool {
+	bestAll, bestFull := math.Inf(1), math.Inf(1)
+	for i := range c.Measured {
+		if c.Measured[i] < bestAll {
+			bestAll = c.Measured[i]
+		}
+		if c.Shapes[i].Threads() == maxThreads && c.Measured[i] < bestFull {
+			bestFull = c.Measured[i]
+		}
+	}
+	if math.IsInf(bestFull, 1) {
+		return true // no full-machine placement in the evaluated set
+	}
+	return bestFull > bestAll*(1+threshold)
+}
+
+// BestMeasuredIndex returns the index of the fastest measured placement.
+func (c *Curve) BestMeasuredIndex() int {
+	best, idx := math.Inf(1), 0
+	for i, t := range c.Measured {
+		if t < best {
+			best, idx = t, i
+		}
+	}
+	return idx
+}
+
+// BestPredictedIndex returns the index of the fastest predicted placement.
+func (c *Curve) BestPredictedIndex() int {
+	best, idx := math.Inf(1), 0
+	for i, t := range c.Predicted {
+		if t < best {
+			best, idx = t, i
+		}
+	}
+	return idx
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCurveCSV exports a curve in plot-ready form: one row per placement
+// with the shape, thread count, and both normalised performance series
+// (Figs. 1, 10, 13).
+func WriteCurveCSV(w io.Writer, c *Curve) error {
+	meas := Normalize(c.Measured)
+	pred := Normalize(c.Predicted)
+	if _, err := fmt.Fprintln(w, "placement,threads,shape,measured_time,predicted_time,measured_norm,predicted_norm"); err != nil {
+		return err
+	}
+	for i := range c.Shapes {
+		if _, err := fmt.Fprintf(w, "%d,%d,%q,%.6g,%.6g,%.6g,%.6g\n",
+			i, c.Shapes[i].Threads(), c.Shapes[i].String(),
+			c.Measured[i], c.Predicted[i], meas[i], pred[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCurveCSV writes the curve CSV to a file.
+func SaveCurveCSV(path string, c *Curve) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eval: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteCurveCSV(f, c); err != nil {
+		return fmt.Errorf("eval: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// RenderSummary prints the Fig. 11-style error table.
+func RenderSummary(w io.Writer, s *Summary) error {
+	title := fmt.Sprintf("Errors on %s", s.Machine)
+	if s.Source != "" && s.Source != s.Machine {
+		title += fmt.Sprintf(" using %s workload descriptions", s.Source)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %9s %6s\n",
+		"workload", "mean%", "median%", "offMean%", "offMed%", "bestGap%", "peakN")
+	for _, row := range s.PerWorkload {
+		fmt.Fprintf(w, "%-12s %8.1f %8.1f %8.1f %8.1f %9.2f %6d\n",
+			row.Workload, row.Metrics.MeanErr, row.Metrics.MedianErr,
+			row.Metrics.OffsetMean, row.Metrics.OffsetMedian, row.BestGap, row.PeakThreads)
+	}
+	_, err := fmt.Fprintf(w,
+		"overall: median err %.1f%%, median offset err %.1f%%, best-placement gap mean %.2f%% median %.2f%%, %.0f%% of workloads peak below max threads\n",
+		s.MedianErr, s.MedianOffsetErr, s.MeanBestGap, s.MedianBestGap, 100*s.FracPeakBelowMax)
+	return err
+}
+
+// RenderFourSocket prints the Fig. 12 table.
+func RenderFourSocket(w io.Writer, machine string, rows []FourSocketRow) error {
+	title := fmt.Sprintf("Mean errors on %s by placement class", machine)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %14s\n", "workload", "2-socket%", "20-core%", "whole-machine%")
+	var two, twenty, whole []float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10.1f %10.1f %14.1f\n", r.Workload, r.TwoSocket, r.TwentyCore, r.Whole)
+		two = append(two, r.TwoSocket)
+		twenty = append(twenty, r.TwentyCore)
+		whole = append(whole, r.Whole)
+	}
+	_, err := fmt.Fprintf(w, "%-12s %10.1f %10.1f %14.1f\n", "mean", mean(two), mean(twenty), mean(whole))
+	return err
+}
+
+// RenderTurbo prints the Fig. 14 series.
+func RenderTurbo(w io.Writer, t *TurboCurves) error {
+	if _, err := fmt.Fprintln(w, "threads,turbo_idle,turbo_background,nominal"); err != nil {
+		return err
+	}
+	for i := range t.TurboIdle {
+		if _, err := fmt.Fprintf(w, "%d,%.4g,%.4g,%.4g\n",
+			t.TurboIdle[i].Threads, t.TurboIdle[i].PerThreadRate,
+			t.TurboBackground[i].PerThreadRate, t.Nominal[i].PerThreadRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSweep prints the §6.3 sweep comparison.
+func RenderSweep(w io.Writer, s *SweepSummary) error {
+	title := fmt.Sprintf("Sweep baseline vs Pandia profiling on %s", s.Machine)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %12s %10s %10s %10s\n",
+		"workload", "sweep(s)", "profile(s)", "ratio", "foundBest", "gap%")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-12s %10.0f %12.0f %10.1f %10v %10.2f\n",
+			r.Workload, r.SweepCost, r.ProfileCost, r.CostRatio, r.FoundBest, r.SweepBestGap)
+	}
+	_, err := fmt.Fprintf(w,
+		"mean cost ratio %.1fx; sweep found the exact best placement for %d of %d workloads (%d within 2%%)\n",
+		s.MeanCostRatio, s.FoundBestCount, len(s.Rows), s.NearBestCount)
+	return err
+}
+
+// ASCIICurve renders a coarse text plot of a curve (normalised performance
+// against placement index), for terminal inspection of the Figs. 1/10/13
+// shapes without a plotting stack.
+func ASCIICurve(c *Curve, width, height int) string {
+	if width < 10 {
+		width = 72
+	}
+	if height < 4 {
+		height = 16
+	}
+	meas := Normalize(c.Measured)
+	pred := Normalize(c.Predicted)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(vals []float64, mark byte) {
+		for i, v := range vals {
+			col := i * (width - 1) / max(1, len(vals)-1)
+			row := int((1 - v) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+	plot(meas, '.')
+	plot(pred, '+')
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s  (. measured, + predicted; y: normalised speedup, x: placement)\n",
+		c.Workload, c.Machine)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}
+
+// EnsureDir creates the directory for experiment outputs.
+func EnsureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eval: creating %s: %w", dir, err)
+	}
+	return nil
+}
+
+// CurvePath builds the canonical CSV path for a figure curve.
+func CurvePath(dir, machine, workloadName string) string {
+	return filepath.Join(dir, fmt.Sprintf("curve-%s-%s.csv", machine, workloadName))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

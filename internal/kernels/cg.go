@@ -1,0 +1,169 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CG is a conjugate-gradient solver for a symmetric positive-definite
+// pentadiagonal stencil system, parallelised with static range partitioning
+// and a barrier after every vector operation — the lock-step, barrier-bound
+// style of the NPB CG benchmark (load balancing factor near zero).
+type CG struct {
+	// Size is the vector length.
+	Size int
+	// Iterations of CG to run.
+	Iterations int
+
+	b, x, r, p, ap []float64
+	residual       float64
+	initial        float64
+}
+
+// Name implements Kernel.
+func (c *CG) Name() string { return "cg" }
+
+// Prepare allocates the system. The matrix A is implicit: a pentadiagonal
+// stencil (5 on the diagonal, -1 at offsets ±1 and ±3), strictly diagonally
+// dominant and hence SPD.
+func (c *CG) Prepare() {
+	if c.Size <= 0 {
+		c.Size = 1 << 18
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 25
+	}
+	c.b = make([]float64, c.Size)
+	c.x = make([]float64, c.Size)
+	c.r = make([]float64, c.Size)
+	c.p = make([]float64, c.Size)
+	c.ap = make([]float64, c.Size)
+	rng := newXorshift(11)
+	for i := range c.b {
+		c.b[i] = rng.float64n()
+	}
+}
+
+// matvec computes ap = A p over [lo, hi).
+func (c *CG) matvec(lo, hi int) {
+	n := c.Size
+	for i := lo; i < hi; i++ {
+		v := 5 * c.p[i]
+		if i >= 1 {
+			v -= c.p[i-1]
+		}
+		if i+1 < n {
+			v -= c.p[i+1]
+		}
+		if i >= 3 {
+			v -= c.p[i-3]
+		}
+		if i+3 < n {
+			v -= c.p[i+3]
+		}
+		c.ap[i] = v
+	}
+}
+
+// parallelReduce applies fn over static ranges and sums the partial
+// results, with a barrier (WaitGroup) per operation.
+func parallelReduce(n, threads int, fn func(lo, hi int) float64) float64 {
+	ranges := splitRange(n, threads)
+	partial := make([]float64, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			partial[r] = fn(ranges[r][0], ranges[r][1])
+		}(r)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}
+
+// parallelFor applies fn over static ranges with a barrier.
+func parallelFor(n, threads int, fn func(lo, hi int)) {
+	ranges := splitRange(n, threads)
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			fn(ranges[r][0], ranges[r][1])
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Run implements Kernel.
+func (c *CG) Run(threads int) {
+	n := c.Size
+	// x = 0, r = p = b.
+	parallelFor(n, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.x[i] = 0
+			c.r[i] = c.b[i]
+			c.p[i] = c.b[i]
+		}
+	})
+	rr := parallelReduce(n, threads, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += c.r[i] * c.r[i]
+		}
+		return s
+	})
+	c.initial = math.Sqrt(rr)
+
+	for it := 0; it < c.Iterations && rr > 0; it++ {
+		parallelFor(n, threads, c.matvec)
+		pap := parallelReduce(n, threads, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += c.p[i] * c.ap[i]
+			}
+			return s
+		})
+		if pap == 0 {
+			break
+		}
+		alpha := rr / pap
+		rrNew := parallelReduce(n, threads, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				c.x[i] += alpha * c.p[i]
+				c.r[i] -= alpha * c.ap[i]
+				s += c.r[i] * c.r[i]
+			}
+			return s
+		})
+		beta := rrNew / rr
+		rr = rrNew
+		parallelFor(n, threads, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.p[i] = c.r[i] + beta*c.p[i]
+			}
+		})
+	}
+	c.residual = math.Sqrt(rr)
+}
+
+// Verify checks CG reduced the residual substantially.
+func (c *CG) Verify() error {
+	if math.IsNaN(c.residual) {
+		return fmt.Errorf("cg: residual is NaN")
+	}
+	if c.residual > c.initial*1e-3 {
+		return fmt.Errorf("cg: residual %g barely below initial %g", c.residual, c.initial)
+	}
+	return nil
+}
+
+// Residual returns the final residual norm of the last run.
+func (c *CG) Residual() float64 { return c.residual }

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// EP is the embarrassingly-parallel kernel in the NPB style: generate
+// pseudo-random pairs, accept those inside the unit circle (Marsaglia polar
+// method style), and tally acceptance counts per annulus. There is no
+// shared state during the run — the closest thing to perfect scaling.
+type EP struct {
+	// Pairs is the total number of random pairs to generate.
+	Pairs int
+	Seed  uint64
+
+	counts  [10]int64
+	total   int64
+	threads int
+}
+
+// Name implements Kernel.
+func (e *EP) Name() string { return "ep" }
+
+// Prepare sets defaults.
+func (e *EP) Prepare() {
+	if e.Pairs <= 0 {
+		e.Pairs = 1 << 22
+	}
+}
+
+// Run implements Kernel: the pair range splits statically; each goroutine
+// owns an independent, deterministic random stream.
+func (e *EP) Run(threads int) {
+	e.threads = threads
+	ranges := splitRange(e.Pairs, threads)
+	partial := make([][10]int64, len(ranges))
+	totals := make([]int64, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			rng := newXorshift(e.Seed + 17 + uint64(ranges[r][0]))
+			var counts [10]int64
+			var accepted int64
+			for i := ranges[r][0]; i < ranges[r][1]; i++ {
+				x := 2*rng.float64n() - 1
+				y := 2*rng.float64n() - 1
+				t := x*x + y*y
+				if t <= 1 && t > 0 {
+					accepted++
+					annulus := int(math.Sqrt(t) * 10)
+					if annulus > 9 {
+						annulus = 9
+					}
+					counts[annulus]++
+				}
+			}
+			partial[r] = counts
+			totals[r] = accepted
+		}(r)
+	}
+	wg.Wait()
+	e.total = 0
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for r := range partial {
+		e.total += totals[r]
+		for i := range e.counts {
+			e.counts[i] += partial[r][i]
+		}
+	}
+}
+
+// Verify checks the acceptance rate approximates pi/4 and the annulus
+// counts account for every accepted pair.
+func (e *EP) Verify() error {
+	var sum int64
+	for _, c := range e.counts {
+		sum += c
+	}
+	if sum != e.total {
+		return fmt.Errorf("ep: annulus counts %d != accepted %d", sum, e.total)
+	}
+	rate := float64(e.total) / float64(e.Pairs)
+	if math.Abs(rate-math.Pi/4) > 0.01 {
+		return fmt.Errorf("ep: acceptance rate %.4f, want ~%.4f", rate, math.Pi/4)
+	}
+	return nil
+}
+
+// PiEstimate returns the last run's estimate of pi.
+func (e *EP) PiEstimate() float64 {
+	return 4 * float64(e.total) / float64(e.Pairs)
+}

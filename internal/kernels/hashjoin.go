@@ -1,0 +1,299 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NPOJoin is a no-partitioning hash join in the style of Balkesen et al.:
+// one shared hash table built over the build relation, probed in parallel.
+// Probe work is distributed dynamically in chunks, so the join balances
+// load well — the behaviour the paper's join workloads exhibit.
+type NPOJoin struct {
+	// BuildSize and ProbeSize are the relation cardinalities.
+	BuildSize int
+	ProbeSize int
+	// Seed makes input generation deterministic.
+	Seed uint64
+
+	buildKeys []uint64
+	probeKeys []uint64
+	buckets   []int32 // head index per bucket, -1 empty
+	chain     []int32 // next pointer per build tuple
+	mask      uint64
+	matches   atomic.Int64
+}
+
+// Name implements Kernel.
+func (j *NPOJoin) Name() string { return "npo-join" }
+
+// Prepare generates the relations: build keys are unique, probe keys are
+// drawn uniformly from the build key space so every probe matches exactly
+// once (making the result easy to verify).
+func (j *NPOJoin) Prepare() {
+	if j.BuildSize <= 0 {
+		j.BuildSize = 1 << 16
+	}
+	if j.ProbeSize <= 0 {
+		j.ProbeSize = j.BuildSize * 8
+	}
+	rng := newXorshift(j.Seed + 2)
+	j.buildKeys = make([]uint64, j.BuildSize)
+	for i := range j.buildKeys {
+		j.buildKeys[i] = uint64(i)
+	}
+	// Fisher-Yates shuffle so the build side is unordered.
+	for i := len(j.buildKeys) - 1; i > 0; i-- {
+		k := int(rng.next() % uint64(i+1))
+		j.buildKeys[i], j.buildKeys[k] = j.buildKeys[k], j.buildKeys[i]
+	}
+	j.probeKeys = make([]uint64, j.ProbeSize)
+	for i := range j.probeKeys {
+		j.probeKeys[i] = rng.next() % uint64(j.BuildSize)
+	}
+	// Power-of-two bucket count at ~2x fill.
+	nb := 1
+	for nb < 2*j.BuildSize {
+		nb <<= 1
+	}
+	j.mask = uint64(nb - 1)
+	j.buckets = make([]int32, nb)
+	j.chain = make([]int32, j.BuildSize)
+}
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}
+
+// Run implements Kernel: parallel build (partitioned by bucket ownership via
+// CAS-free striping) then parallel dynamic probe.
+func (j *NPOJoin) Run(threads int) {
+	for i := range j.buckets {
+		j.buckets[i] = -1
+	}
+	// Build: straightforward sequential-ish build parallelised by striping
+	// buckets over workers; each worker links only tuples whose bucket it
+	// owns, so no synchronisation is needed.
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i, k := range j.buildKeys {
+				b := hash64(k) & j.mask
+				if int(b)%threads != w {
+					continue
+				}
+				j.chain[i] = j.buckets[b]
+				j.buckets[b] = int32(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Probe: dynamic chunks from a shared cursor.
+	j.matches.Store(0)
+	const chunk = 4096
+	var cursor atomic.Int64
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func() {
+			defer wg.Done()
+			var local int64
+			n := len(j.probeKeys)
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for _, k := range j.probeKeys[lo:hi] {
+					b := hash64(k) & j.mask
+					for e := j.buckets[b]; e >= 0; e = j.chain[e] {
+						if j.buildKeys[e] == k {
+							local++
+							break
+						}
+					}
+				}
+			}
+			j.matches.Add(local)
+		}()
+	}
+	wg.Wait()
+}
+
+// Verify checks every probe tuple found its unique match.
+func (j *NPOJoin) Verify() error {
+	if got, want := j.matches.Load(), int64(len(j.probeKeys)); got != want {
+		return fmt.Errorf("npo-join: %d matches, want %d", got, want)
+	}
+	return nil
+}
+
+// Matches returns the join cardinality of the last run.
+func (j *NPOJoin) Matches() int64 { return j.matches.Load() }
+
+// RadixJoin is a parallel radix-partitioned hash join (the PRH family):
+// both relations are partitioned by key radix with a parallel histogram
+// pass, then partitions join independently. Partitioning is statically
+// divided; the per-partition joins are claimed dynamically.
+type RadixJoin struct {
+	BuildSize int
+	ProbeSize int
+	// RadixBits selects the partition count (2^RadixBits).
+	RadixBits int
+	Seed      uint64
+
+	buildKeys []uint64
+	probeKeys []uint64
+	buildPart []uint64
+	probePart []uint64
+	buildOff  []int
+	probeOff  []int
+	matches   atomic.Int64
+}
+
+// Name implements Kernel.
+func (j *RadixJoin) Name() string { return "radix-join" }
+
+// Prepare generates the same verifiable distribution as NPOJoin.
+func (j *RadixJoin) Prepare() {
+	if j.BuildSize <= 0 {
+		j.BuildSize = 1 << 16
+	}
+	if j.ProbeSize <= 0 {
+		j.ProbeSize = j.BuildSize * 8
+	}
+	if j.RadixBits <= 0 {
+		j.RadixBits = 6
+	}
+	rng := newXorshift(j.Seed + 3)
+	j.buildKeys = make([]uint64, j.BuildSize)
+	for i := range j.buildKeys {
+		j.buildKeys[i] = uint64(i)
+	}
+	for i := len(j.buildKeys) - 1; i > 0; i-- {
+		k := int(rng.next() % uint64(i+1))
+		j.buildKeys[i], j.buildKeys[k] = j.buildKeys[k], j.buildKeys[i]
+	}
+	j.probeKeys = make([]uint64, j.ProbeSize)
+	for i := range j.probeKeys {
+		j.probeKeys[i] = rng.next() % uint64(j.BuildSize)
+	}
+	j.buildPart = make([]uint64, j.BuildSize)
+	j.probePart = make([]uint64, j.ProbeSize)
+}
+
+func (j *RadixJoin) partition(keys, out []uint64, threads int) []int {
+	parts := 1 << j.RadixBits
+	shift := 64 - j.RadixBits
+	// Parallel histogram over static ranges.
+	ranges := splitRange(len(keys), threads)
+	hists := make([][]int, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			h := make([]int, parts)
+			for _, k := range keys[ranges[r][0]:ranges[r][1]] {
+				h[hash64(k)>>shift]++
+			}
+			hists[r] = h
+		}(r)
+	}
+	wg.Wait()
+	// Prefix sums give every (range, partition) a disjoint output slot.
+	offsets := make([]int, parts+1)
+	cursors := make([][]int, len(ranges))
+	pos := 0
+	for p := 0; p < parts; p++ {
+		offsets[p] = pos
+		for r := range ranges {
+			if cursors[r] == nil {
+				cursors[r] = make([]int, parts)
+			}
+			cursors[r][p] = pos
+			pos += hists[r][p]
+		}
+	}
+	offsets[parts] = pos
+	// Parallel scatter.
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			cur := cursors[r]
+			for _, k := range keys[ranges[r][0]:ranges[r][1]] {
+				p := hash64(k) >> shift
+				out[cur[p]] = k
+				cur[p]++
+			}
+		}(r)
+	}
+	wg.Wait()
+	return offsets
+}
+
+// Run implements Kernel.
+func (j *RadixJoin) Run(threads int) {
+	j.buildOff = j.partition(j.buildKeys, j.buildPart, threads)
+	j.probeOff = j.partition(j.probeKeys, j.probePart, threads)
+
+	parts := 1 << j.RadixBits
+	j.matches.Store(0)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				p := int(cursor.Add(1)) - 1
+				if p >= parts {
+					break
+				}
+				local += j.joinPartition(p)
+			}
+			j.matches.Add(local)
+		}()
+	}
+	wg.Wait()
+}
+
+// joinPartition joins one partition with a small local hash table.
+func (j *RadixJoin) joinPartition(p int) int64 {
+	build := j.buildPart[j.buildOff[p]:j.buildOff[p+1]]
+	probe := j.probePart[j.probeOff[p]:j.probeOff[p+1]]
+	if len(build) == 0 || len(probe) == 0 {
+		return 0
+	}
+	table := make(map[uint64]struct{}, len(build))
+	for _, k := range build {
+		table[k] = struct{}{}
+	}
+	var local int64
+	for _, k := range probe {
+		if _, ok := table[k]; ok {
+			local++
+		}
+	}
+	return local
+}
+
+// Verify checks every probe tuple found its unique match.
+func (j *RadixJoin) Verify() error {
+	if got, want := j.matches.Load(), int64(len(j.probeKeys)); got != want {
+		return fmt.Errorf("radix-join: %d matches, want %d", got, want)
+	}
+	return nil
+}

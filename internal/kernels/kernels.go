@@ -1,0 +1,147 @@
+// Package kernels implements real, runnable parallel workloads of the kinds
+// the paper evaluates — in-memory graph analytics (PageRank), main-memory
+// hash joins, integer sorting, a conjugate-gradient solver, and an
+// embarrassingly-parallel Monte Carlo kernel — each parameterised by a
+// goroutine count.
+//
+// These kernels serve two purposes: the examples use them to demonstrate
+// measuring a real workload's scaling on the host and fitting the model's
+// parallel fraction, and the tests use them to sanity-check the workload
+// zoo's qualitative shapes (EP scales almost perfectly, CG is barrier-bound,
+// joins balance dynamically). Go offers no thread pinning, so placement
+// experiments stay on the simulated testbed; thread-count scaling, however,
+// is perfectly real.
+package kernels
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kernel is one runnable parallel workload.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// Prepare allocates and initialises inputs; it is not timed and must
+	// be called before Run.
+	Prepare()
+	// Run executes the kernel's work using the given number of goroutines.
+	Run(threads int)
+	// Verify checks the most recent Run produced a correct result.
+	Verify() error
+}
+
+// Measurement records one timed run.
+type Measurement struct {
+	Threads int
+	Elapsed time.Duration
+}
+
+// MeasureScaling runs the kernel at each thread count, keeping the best of
+// `repeats` runs per count (standard practice for noisy timings).
+func MeasureScaling(k Kernel, threadCounts []int, repeats int) ([]Measurement, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	k.Prepare()
+	out := make([]Measurement, 0, len(threadCounts))
+	for _, n := range threadCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("kernels: invalid thread count %d", n)
+		}
+		best := time.Duration(0)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			k.Run(n)
+			d := time.Since(start)
+			if err := k.Verify(); err != nil {
+				return nil, fmt.Errorf("kernels: %s with %d threads: %w", k.Name(), n, err)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		out = append(out, Measurement{Threads: n, Elapsed: best})
+	}
+	return out, nil
+}
+
+// FitParallelFraction fits Amdahl's law to a scaling measurement by least
+// squares over the relative times r_n = (1-p) + p/n, exactly the model the
+// workload description uses for step 2 (§4.2). It returns p clamped to
+// [0, 1]. The measurement must include a single-thread run.
+func FitParallelFraction(ms []Measurement) (float64, error) {
+	var t1 float64
+	for _, m := range ms {
+		if m.Threads == 1 {
+			t1 = m.Elapsed.Seconds()
+		}
+	}
+	if t1 <= 0 {
+		return 0, fmt.Errorf("kernels: scaling data lacks a single-thread run")
+	}
+	// r_n - 1 = p*(1/n - 1): regress y = r_n - 1 on x = 1/n - 1.
+	var sxx, sxy float64
+	for _, m := range ms {
+		if m.Threads == 1 {
+			continue
+		}
+		x := 1/float64(m.Threads) - 1
+		y := m.Elapsed.Seconds()/t1 - 1
+		sxx += x * x
+		sxy += x * y
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("kernels: scaling data has no multi-thread runs")
+	}
+	p := sxy / sxx
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// splitRange divides [0, n) into `parts` contiguous sub-ranges.
+func splitRange(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// xorshift64 is a tiny deterministic PRNG for input generation and the EP
+// kernel; each goroutine gets an independently seeded stream.
+type xorshift64 uint64
+
+func newXorshift(seed uint64) xorshift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return xorshift64(seed)
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// float64n returns a uniform float in [0, 1).
+func (x *xorshift64) float64n() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RadixSort is a parallel most-significant-byte radix sort over uint64 keys
+// (the IS / Sort-Join style kernel): a parallel histogram and scatter
+// splits the input into 256 buckets, which workers then sort independently,
+// claimed dynamically.
+type RadixSort struct {
+	// Size is the input cardinality.
+	Size int
+	Seed uint64
+
+	keys    []uint64
+	scratch []uint64
+	offsets []int
+}
+
+// Name implements Kernel.
+func (s *RadixSort) Name() string { return "radix-sort" }
+
+// Prepare generates uniform random keys.
+func (s *RadixSort) Prepare() {
+	if s.Size <= 0 {
+		s.Size = 1 << 20
+	}
+	s.keys = make([]uint64, s.Size)
+	s.scratch = make([]uint64, s.Size)
+	rng := newXorshift(s.Seed + 4)
+	for i := range s.keys {
+		s.keys[i] = rng.next()
+	}
+}
+
+// Run implements Kernel.
+func (s *RadixSort) Run(threads int) {
+	// Re-shuffle deterministically so repeated runs do equal work.
+	rng := newXorshift(s.Seed + 5)
+	for i := len(s.keys) - 1; i > 0; i-- {
+		k := int(rng.next() % uint64(i+1))
+		s.keys[i], s.keys[k] = s.keys[k], s.keys[i]
+	}
+
+	const parts = 256
+	shift := 56 // top byte
+	ranges := splitRange(len(s.keys), threads)
+	hists := make([][]int, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			h := make([]int, parts)
+			for _, k := range s.keys[ranges[r][0]:ranges[r][1]] {
+				h[k>>shift]++
+			}
+			hists[r] = h
+		}(r)
+	}
+	wg.Wait()
+
+	s.offsets = make([]int, parts+1)
+	cursors := make([][]int, len(ranges))
+	pos := 0
+	for p := 0; p < parts; p++ {
+		s.offsets[p] = pos
+		for r := range ranges {
+			if cursors[r] == nil {
+				cursors[r] = make([]int, parts)
+			}
+			cursors[r][p] = pos
+			pos += hists[r][p]
+		}
+	}
+	s.offsets[parts] = pos
+
+	wg.Add(len(ranges))
+	for r := range ranges {
+		go func(r int) {
+			defer wg.Done()
+			cur := cursors[r]
+			for _, k := range s.keys[ranges[r][0]:ranges[r][1]] {
+				p := k >> shift
+				s.scratch[cur[p]] = k
+				cur[p]++
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Sort buckets independently; dynamic claiming balances the skew.
+	var cursor atomic.Int64
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(cursor.Add(1)) - 1
+				if p >= parts {
+					return
+				}
+				bucket := s.scratch[s.offsets[p]:s.offsets[p+1]]
+				sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+			}
+		}()
+	}
+	wg.Wait()
+	s.keys, s.scratch = s.scratch, s.keys
+}
+
+// Verify checks the output is a sorted permutation (by order and count).
+func (s *RadixSort) Verify() error {
+	for i := 1; i < len(s.keys); i++ {
+		if s.keys[i-1] > s.keys[i] {
+			return fmt.Errorf("radix-sort: out of order at %d", i)
+		}
+	}
+	if len(s.keys) != s.Size {
+		return fmt.Errorf("radix-sort: lost keys: %d of %d", len(s.keys), s.Size)
+	}
+	return nil
+}

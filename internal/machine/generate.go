@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"fmt"
+
+	"pandia/internal/placement"
+	"pandia/internal/simhw"
+	"pandia/internal/stress"
+	"pandia/internal/topology"
+)
+
+// Describe generates the machine description by running the stress
+// applications on the testbed and reading the resulting counters (§3).
+// The topology itself comes from the OS (here: the testbed's shape).
+//
+// All measurements use the paper's power methodology: Turbo Boost stays
+// enabled and idle cores are kept busy, so capacities are quoted at the
+// all-core operating point (§6.3).
+func Describe(tb *simhw.Testbed) (*Description, error) {
+	topo := tb.Machine()
+	d := &Description{Topo: topo}
+	l3 := tb.L3SizeMB()
+
+	run := func(w simhw.WorkloadTruth, p placement.Placement, mem simhw.MemPolicy) (simhw.RunResult, error) {
+		res, err := tb.Run(simhw.RunConfig{
+			Workload:  w,
+			Placement: []topology.Context(p),
+			Memory:    mem,
+			Power:     simhw.PowerFilled,
+		})
+		if err != nil {
+			return res, fmt.Errorf("machine: stress run %s: %w", w.Name, err)
+		}
+		return res, nil
+	}
+
+	// constrained clamps a measured rate to zero when the stress ran
+	// unthrottled, meaning the machine does not constrain that resource
+	// (e.g. the cache-less example machine of Fig. 3).
+	constrained := func(rate float64) float64 {
+		if rate >= 0.5*stress.Saturate {
+			return 0
+		}
+		return rate
+	}
+
+	solo := placement.Placement{{Socket: 0, Core: 0, Slot: 0}}
+	wholeSocket, err := placement.OnePerCore(topo, 0, topo.CoresPerSocket)
+	if err != nil {
+		return nil, fmt.Errorf("machine: building whole-socket placement: %w", err)
+	}
+
+	// Core peak instruction rate: one CPU-bound thread (§3.2).
+	res, err := run(stress.App(stress.CPU, l3, 1), solo, simhw.MemPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	d.CorePeakInstr = res.Sample.Rates().Instr
+
+	// SMT co-scheduling factor: two CPU-bound threads on one core (§3.2).
+	if topo.ThreadsPerCore >= 2 {
+		pair := placement.Placement{{Socket: 0, Core: 0, Slot: 0}, {Socket: 0, Core: 0, Slot: 1}}
+		res, err = run(stress.App(stress.CPU, l3, 2), pair, simhw.MemPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		d.SMTFactor = res.Sample.Rates().Instr / d.CorePeakInstr
+		if d.SMTFactor < 1 {
+			d.SMTFactor = 1
+		}
+	} else {
+		d.SMTFactor = 1
+	}
+
+	// Per-core cache link bandwidths: single-thread streaming (§3.1).
+	if res, err = run(stress.App(stress.L1, l3, 1), solo, simhw.MemPolicy{}); err != nil {
+		return nil, err
+	}
+	d.L1BW = constrained(res.Sample.Rates().L1)
+	if res, err = run(stress.App(stress.L2, l3, 1), solo, simhw.MemPolicy{}); err != nil {
+		return nil, err
+	}
+	d.L2BW = constrained(res.Sample.Rates().L2)
+
+	// L3: per-core link from a single thread, aggregate from one thread on
+	// every core of the socket (§3.1: both limits are recorded).
+	if res, err = run(stress.App(stress.L3, l3, 1), solo, simhw.MemPolicy{}); err != nil {
+		return nil, err
+	}
+	d.L3LinkBW = constrained(res.Sample.Rates().L3)
+	if res, err = run(stress.App(stress.L3, l3, topo.CoresPerSocket), wholeSocket, simhw.MemPolicy{}); err != nil {
+		return nil, err
+	}
+	d.L3AggBW = constrained(res.Sample.Rates().L3)
+
+	// DRAM: streaming from local memory on every core of one socket.
+	if res, err = run(stress.App(stress.DRAM, l3, topo.CoresPerSocket), wholeSocket,
+		simhw.MemPolicy{BindSockets: []int{0}}); err != nil {
+		return nil, err
+	}
+	d.DRAMBW = res.Sample.Rates().DRAM
+
+	// Interconnect: streaming from memory bound to the remote socket; the
+	// counter convention (both directions counted) matches the demand
+	// convention the predictor uses, so the units line up.
+	if topo.Sockets > 1 {
+		if res, err = run(stress.App(stress.Interconnect, l3, topo.CoresPerSocket), wholeSocket,
+			simhw.MemPolicy{BindSockets: []int{1}}); err != nil {
+			return nil, err
+		}
+		d.InterconnectBW = res.Sample.Rates().Interconnect
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: generated description invalid: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pandia/internal/simhw"
+	"pandia/internal/topology"
+)
+
+func describe(t *testing.T, truth simhw.MachineTruth) *Description {
+	t.Helper()
+	truth.NoiseSigma = 0
+	tb, err := simhw.NewTestbed(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Describe(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// within asserts got is within frac of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / want; rel > frac {
+		t.Errorf("%s = %g, want within %.0f%% of %g (off by %.1f%%)", name, got, frac*100, want, rel*100)
+	}
+}
+
+func TestDescribeRecoversTruth(t *testing.T) {
+	for _, truth := range []simhw.MachineTruth{simhw.X32Truth(), simhw.X52Truth(), simhw.X24Truth()} {
+		truth := truth
+		t.Run(truth.Topo.Name, func(t *testing.T) {
+			d := describe(t, truth)
+			// The stress measurements run on the machine itself, so they
+			// land within the queueing-excess margin of the truth, always
+			// at or below it.
+			within(t, "core peak", d.CorePeakInstr, truth.CoreInstrRate, 0.12)
+			within(t, "smt factor", d.SMTFactor, truth.SMTAggFactor, 0.08)
+			within(t, "l1", d.L1BW, truth.L1BW, 0.12)
+			within(t, "l2", d.L2BW, truth.L2BW, 0.12)
+			within(t, "l3 link", d.L3LinkBW, truth.L3LinkBW, 0.12)
+			within(t, "l3 agg", d.L3AggBW, truth.L3AggBW, 0.12)
+			within(t, "dram", d.DRAMBW, truth.DRAMBW, 0.12)
+			within(t, "interconnect", d.InterconnectBW, truth.InterconnectBW, 0.12)
+			for _, pair := range []struct {
+				name       string
+				got, truth float64
+			}{
+				{"core peak", d.CorePeakInstr, truth.CoreInstrRate},
+				{"dram", d.DRAMBW, truth.DRAMBW},
+				{"interconnect", d.InterconnectBW, truth.InterconnectBW},
+			} {
+				if pair.got > pair.truth*1.0001 {
+					t.Errorf("%s measured above physical capacity: %g > %g", pair.name, pair.got, pair.truth)
+				}
+			}
+		})
+	}
+}
+
+func TestDescribeToyMachine(t *testing.T) {
+	d := describe(t, simhw.ToyTruth())
+	within(t, "core peak", d.CorePeakInstr, 10, 0.01)
+	within(t, "dram", d.DRAMBW, 100, 0.01)
+	within(t, "interconnect", d.InterconnectBW, 50, 0.01)
+	if d.L1BW != 0 || d.L2BW != 0 || d.L3LinkBW != 0 || d.L3AggBW != 0 {
+		t.Errorf("cache-less machine measured cache bandwidth: %s", d)
+	}
+}
+
+func TestInstrCapacity(t *testing.T) {
+	d := &Description{Topo: topology.X32(), CorePeakInstr: 10, SMTFactor: 1.25, DRAMBW: 1, InterconnectBW: 1}
+	if got := d.InstrCapacity(1); got != 10 {
+		t.Errorf("InstrCapacity(1) = %g", got)
+	}
+	if got := d.InstrCapacity(2); got != 12.5 {
+		t.Errorf("InstrCapacity(2) = %g", got)
+	}
+}
+
+func TestCapacityByKind(t *testing.T) {
+	d := &Description{
+		Topo: topology.X32(), CorePeakInstr: 10, SMTFactor: 1.2,
+		L1BW: 1, L2BW: 2, L3LinkBW: 3, L3AggBW: 4, DRAMBW: 5, InterconnectBW: 6,
+	}
+	want := map[topology.ResourceKind]float64{
+		topology.ResInstr: 10, topology.ResL1: 1, topology.ResL2: 2,
+		topology.ResL3Link: 3, topology.ResL3Agg: 4, topology.ResDRAM: 5,
+		topology.ResInterconnect: 6,
+	}
+	for k, w := range want {
+		if got := d.Capacity(k); got != w {
+			t.Errorf("Capacity(%v) = %g, want %g", k, got, w)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Description{Topo: topology.X32(), CorePeakInstr: 10, SMTFactor: 1.2, DRAMBW: 48, InterconnectBW: 30}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid description rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Description){
+		"no peak":   func(d *Description) { d.CorePeakInstr = 0 },
+		"bad smt":   func(d *Description) { d.SMTFactor = 0.5 },
+		"no dram":   func(d *Description) { d.DRAMBW = 0 },
+		"no ic":     func(d *Description) { d.InterconnectBW = 0 },
+		"neg cache": func(d *Description) { d.L2BW = -1 },
+	} {
+		d := *good
+		mutate(&d)
+		if d.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := describe(t, simhw.X32Truth())
+	path := filepath.Join(t.TempDir(), "x32.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *d {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, d)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestDescriptionString(t *testing.T) {
+	d := describe(t, simhw.X32Truth())
+	if s := d.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"testing"
+
+	"pandia/internal/topology"
+)
+
+// FuzzParseShape checks the parser never panics and that everything it
+// accepts round-trips through FormatShape.
+func FuzzParseShape(f *testing.F) {
+	for _, seed := range []string{
+		"4x1", "2x2+3x1", "2x2+3x1/4x1", "1x2/1x2", "", "x1", "9999999x1",
+		"1x1/1x1/1x1/1x1", "0x1", "1x2+0x1", " 3x1 / 2x2 ", "a/b", "1x3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		shape, err := ParseShape(s)
+		if err != nil {
+			return
+		}
+		if shape.Threads() <= 0 {
+			t.Fatalf("accepted shape %q with %d threads", s, shape.Threads())
+		}
+		back, err := ParseShape(FormatShape(shape))
+		if err != nil {
+			t.Fatalf("FormatShape produced unparseable %q from %q", FormatShape(shape), s)
+		}
+		if back.Key() != shape.Key() {
+			t.Fatalf("round trip %q -> %q", s, FormatShape(shape))
+		}
+	})
+}
+
+// FuzzShapeExpand checks that any shape fitting the machine expands into a
+// valid placement that round-trips through ShapeOf.
+func FuzzShapeExpand(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(0), uint8(3))
+	f.Add(uint8(8), uint8(0), uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, o1, t1, o2, t2 uint8) {
+		m := topology.X32()
+		s := Shape{PerSocket: []SocketCount{
+			{Ones: int(o1 % 9), Twos: int(t1 % 9)},
+			{Ones: int(o2 % 9), Twos: int(t2 % 9)},
+		}}.Canonical()
+		if s.Validate(m) != nil {
+			return
+		}
+		p := s.Expand(m)
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("expand of %v invalid: %v", s, err)
+		}
+		if ShapeOf(m, p).Key() != s.Key() {
+			t.Fatalf("round trip failed for %v", s)
+		}
+	})
+}

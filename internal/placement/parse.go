@@ -1,0 +1,77 @@
+package placement
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseShape parses the textual shape syntax used by the CLI: per-socket
+// segments separated by "/", each segment a "+"-separated list of
+// COUNTxOCCUPANCY terms. Examples:
+//
+//	"4x1"          four cores with one thread each, all on socket 0
+//	"2x2+3x1"      two doubled cores and three singles on socket 0
+//	"2x2+3x1/4x1"  the same plus four singles on socket 1
+//
+// The resulting shape is canonicalised (busiest socket first), matching
+// what Shape.String prints without the socket labels.
+func ParseShape(s string) (Shape, error) {
+	var out Shape
+	segs := strings.Split(strings.TrimSpace(s), "/")
+	if len(segs) == 0 || strings.TrimSpace(s) == "" {
+		return Shape{}, fmt.Errorf("placement: empty shape %q", s)
+	}
+	for _, seg := range segs {
+		var sc SocketCount
+		seg = strings.TrimSpace(seg)
+		if seg == "" || seg == "0" {
+			out.PerSocket = append(out.PerSocket, sc)
+			continue
+		}
+		for _, term := range strings.Split(seg, "+") {
+			parts := strings.Split(strings.TrimSpace(term), "x")
+			if len(parts) != 2 {
+				return Shape{}, fmt.Errorf("placement: bad term %q in shape %q (want COUNTxOCC)", term, s)
+			}
+			count, err := strconv.Atoi(parts[0])
+			if err != nil || count < 0 {
+				return Shape{}, fmt.Errorf("placement: bad core count in term %q", term)
+			}
+			occ, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return Shape{}, fmt.Errorf("placement: bad occupancy in term %q", term)
+			}
+			switch occ {
+			case 1:
+				sc.Ones += count
+			case 2:
+				sc.Twos += count
+			default:
+				return Shape{}, fmt.Errorf("placement: occupancy %d unsupported (want 1 or 2)", occ)
+			}
+		}
+		out.PerSocket = append(out.PerSocket, sc)
+	}
+	c := out.Canonical()
+	if c.Threads() == 0 {
+		return Shape{}, fmt.Errorf("placement: shape %q places no threads", s)
+	}
+	return c, nil
+}
+
+// FormatShape renders a shape in ParseShape's syntax.
+func FormatShape(s Shape) string {
+	var segs []string
+	for _, sc := range s.Canonical().PerSocket {
+		var terms []string
+		if sc.Twos > 0 {
+			terms = append(terms, fmt.Sprintf("%dx2", sc.Twos))
+		}
+		if sc.Ones > 0 {
+			terms = append(terms, fmt.Sprintf("%dx1", sc.Ones))
+		}
+		segs = append(segs, strings.Join(terms, "+"))
+	}
+	return strings.Join(segs, "/")
+}

@@ -1,0 +1,118 @@
+package placement
+
+import (
+	"fmt"
+
+	"pandia/internal/topology"
+)
+
+// OnePerCore places n threads on distinct cores of one socket, slot 0
+// (profiling run 2, §4.2).
+func OnePerCore(m topology.Machine, socket, n int) (Placement, error) {
+	if n < 1 || n > m.CoresPerSocket {
+		return nil, fmt.Errorf("placement: %d threads do not fit one per core on a %d-core socket",
+			n, m.CoresPerSocket)
+	}
+	if socket < 0 || socket >= m.Sockets {
+		return nil, fmt.Errorf("placement: socket %d not on machine %s", socket, m.Name)
+	}
+	p := make(Placement, n)
+	for i := range p {
+		p[i] = topology.Context{Socket: socket, Core: i, Slot: 0}
+	}
+	return p, nil
+}
+
+// SplitAcrossSockets places an even number of threads half on socket 0 and
+// half on socket 1, one per core (profiling run 3, §4.3).
+func SplitAcrossSockets(m topology.Machine, n int) (Placement, error) {
+	if m.Sockets < 2 {
+		return nil, fmt.Errorf("placement: machine %s has a single socket", m.Name)
+	}
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("placement: split placement needs an even thread count, got %d", n)
+	}
+	if n/2 > m.CoresPerSocket {
+		return nil, fmt.Errorf("placement: %d threads do not fit %d per socket", n, n/2)
+	}
+	p := make(Placement, 0, n)
+	for s := 0; s < 2; s++ {
+		for c := 0; c < n/2; c++ {
+			p = append(p, topology.Context{Socket: s, Core: c, Slot: 0})
+		}
+	}
+	return p, nil
+}
+
+// PackedPairs places an even number of threads two per core on one socket
+// (profiling run 6, §4.5).
+func PackedPairs(m topology.Machine, socket, n int) (Placement, error) {
+	if m.ThreadsPerCore < 2 {
+		return nil, fmt.Errorf("placement: machine %s has no SMT contexts to pack", m.Name)
+	}
+	if n < 2 || n%2 != 0 || n/2 > m.CoresPerSocket {
+		return nil, fmt.Errorf("placement: cannot pack %d threads in pairs on a %d-core socket",
+			n, m.CoresPerSocket)
+	}
+	p := make(Placement, 0, n)
+	for c := 0; c < n/2; c++ {
+		p = append(p,
+			topology.Context{Socket: socket, Core: c, Slot: 0},
+			topology.Context{Socket: socket, Core: c, Slot: 1})
+	}
+	return p, nil
+}
+
+// Packed places n threads as close together as possible: filling every
+// context of socket 0 core by core, then socket 1, and so on (one end of
+// the simple sweep, §6.3).
+func Packed(m topology.Machine, n int) (Placement, error) {
+	if n < 1 || n > m.TotalContexts() {
+		return nil, fmt.Errorf("placement: %d threads exceed the machine's %d contexts", n, m.TotalContexts())
+	}
+	p := make(Placement, n)
+	for i := 0; i < n; i++ {
+		p[i] = m.ContextAt(i)
+	}
+	return p, nil
+}
+
+// Spread places n threads as far apart as possible: round-robin over
+// sockets, one thread per core, using second hardware contexts only once
+// every core already has a thread (the other end of the sweep, §6.3).
+func Spread(m topology.Machine, n int) (Placement, error) {
+	if n < 1 || n > m.TotalContexts() {
+		return nil, fmt.Errorf("placement: %d threads exceed the machine's %d contexts", n, m.TotalContexts())
+	}
+	p := make(Placement, 0, n)
+	for slot := 0; slot < m.ThreadsPerCore && len(p) < n; slot++ {
+		for core := 0; core < m.CoresPerSocket && len(p) < n; core++ {
+			for socket := 0; socket < m.Sockets && len(p) < n; socket++ {
+				p = append(p, topology.Context{Socket: socket, Core: core, Slot: slot})
+			}
+		}
+	}
+	return p, nil
+}
+
+// SweepShapes returns the canonical shapes of the simple sweep baseline:
+// for every thread count, the packed and the spread placement (§6.3).
+func SweepShapes(m topology.Machine) []Shape {
+	seen := make(map[string]bool)
+	var out []Shape
+	for n := 1; n <= m.TotalContexts(); n++ {
+		for _, build := range []func(topology.Machine, int) (Placement, error){Packed, Spread} {
+			p, err := build(m, n)
+			if err != nil {
+				continue
+			}
+			s := ShapeOf(m, p)
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+		}
+	}
+	SortShapes(out)
+	return out
+}

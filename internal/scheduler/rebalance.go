@@ -1,0 +1,149 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"pandia/internal/core"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// Move is one piece of rebalancing advice: re-placing a running job is
+// predicted to improve the mix's aggregate speedup by Gain (a fraction,
+// e.g. 0.07 = 7%). The scheduler never moves threads itself — migration
+// costs are workload-specific — it only advises; ApplyMove commits a move
+// the caller has decided to take.
+type Move struct {
+	JobID    string
+	From, To placement.Placement
+	Strategy string
+	// Gain is the predicted relative improvement of aggregate speedup.
+	Gain float64
+}
+
+// RebalanceAdvice evaluates, for every running job, whether re-placing it
+// over the currently free contexts (plus its own) would improve the
+// predicted aggregate speedup of the whole mix by at least minGain.
+// Moves are evaluated independently against the current state and returned
+// sorted by decreasing gain; applying one invalidates the others.
+func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.running) == 0 {
+		return nil, nil
+	}
+
+	ids := make([]string, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	baseJobs := make([]core.PlacedWorkload, len(ids))
+	for i, id := range ids {
+		a := s.running[id]
+		baseJobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement}
+	}
+	baseCo, err := core.PredictCoSchedule(s.md, baseJobs, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	baseScore := aggregateThroughput(baseCo)
+
+	var moves []Move
+	for i, id := range ids {
+		a := s.running[id]
+		// The job may move anywhere that is free or its own.
+		avail := append(s.freeLocked(), a.Placement...)
+		sortContexts(avail)
+		n := len(a.Placement)
+		for _, gen := range []struct {
+			name string
+			fn   func([]topology.Context, int, topology.Machine) placement.Placement
+		}{
+			{"pack", packFree},
+			{"spread", spreadFree},
+			{"quiet-socket", s.quietSocketFree},
+		} {
+			cand := gen.fn(avail, n, s.md.Topo)
+			if cand == nil || samePlacement(cand, a.Placement) {
+				continue
+			}
+			jobs := append([]core.PlacedWorkload(nil), baseJobs...)
+			jobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
+			co, err := core.PredictCoSchedule(s.md, jobs, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gain := aggregateThroughput(co)/baseScore - 1
+			if gain >= minGain {
+				moves = append(moves, Move{
+					JobID: id, From: a.Placement, To: cand,
+					Strategy: gen.name, Gain: gain,
+				})
+			}
+		}
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].Gain > moves[b].Gain })
+	return moves, nil
+}
+
+// ApplyMove commits one advised move, re-pinning the job's threads.
+func (s *Scheduler) ApplyMove(m Move) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.running[m.JobID]
+	if !ok {
+		return fmt.Errorf("scheduler: job %q not running", m.JobID)
+	}
+	if !samePlacement(a.Placement, m.From) {
+		return fmt.Errorf("scheduler: job %q moved since the advice was computed", m.JobID)
+	}
+	// The target may only use contexts that are free or the job's own.
+	own := make(map[topology.Context]bool, len(a.Placement))
+	for _, c := range a.Placement {
+		own[c] = true
+	}
+	for _, c := range m.To {
+		if owner, used := s.occupied[c]; used && !own[c] {
+			return fmt.Errorf("scheduler: context %v now belongs to %q", c, owner)
+		}
+	}
+	for _, c := range a.Placement {
+		delete(s.occupied, c)
+	}
+	for _, c := range m.To {
+		s.occupied[c] = m.JobID
+	}
+	a.Placement = append(placement.Placement(nil), m.To...)
+	return nil
+}
+
+func samePlacement(a, b placement.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append(placement.Placement(nil), a...)
+	bs := append(placement.Placement(nil), b...)
+	sortContexts(as)
+	sortContexts(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortContexts(p []topology.Context) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].Socket != p[j].Socket {
+			return p[i].Socket < p[j].Socket
+		}
+		if p[i].Core != p[j].Core {
+			return p[i].Core < p[j].Core
+		}
+		return p[i].Slot < p[j].Slot
+	})
+}

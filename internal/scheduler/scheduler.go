@@ -1,0 +1,359 @@
+// Package scheduler is an online thread-placement controller built on
+// Pandia's predictions — the paper's motivating deployment (§1: "our
+// ultimate aim is to support parallel workloads within a server
+// application", §8: handling multiple workloads via predicted resource
+// consumption).
+//
+// Jobs arrive with workload descriptions (produced offline by the six-run
+// profiler). For each arrival the scheduler generates candidate placements
+// over the machine's free hardware contexts, jointly predicts each
+// candidate against everything already running with the co-scheduling
+// predictor, and picks the candidate that maximises aggregate predicted
+// throughput. An optional admission threshold rejects placements that
+// would over-subscribe a resource beyond a configured factor.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pandia/internal/core"
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// Job is a unit of admission: a profiled workload wanting threads.
+type Job struct {
+	// ID must be unique among running jobs.
+	ID string
+	// Workload is the job's Pandia description.
+	Workload *core.Workload
+	// Threads requests a specific thread count; 0 lets the scheduler pick
+	// the count with the best predicted completion time.
+	Threads int
+}
+
+// Assignment records a running job's placement and the joint prediction at
+// admission time.
+type Assignment struct {
+	Job       Job
+	Placement placement.Placement
+	// Prediction is the job's own prediction under the joint model at the
+	// moment of admission (later arrivals can change actual behaviour).
+	Prediction *core.Prediction
+	// Strategy names the candidate generator that produced the placement.
+	Strategy string
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// AdmissionThreshold rejects candidates whose combined predicted
+	// over-subscription exceeds this factor on any resource; 0 disables
+	// admission control.
+	AdmissionThreshold float64
+	// CandidateThreadCounts lists the thread counts tried when a job does
+	// not request one; nil uses a built-in ladder (1, 2, 4, ... machine).
+	CandidateThreadCounts []int
+}
+
+// Scheduler places jobs on one machine. It is safe for concurrent use.
+type Scheduler struct {
+	md  *machine.Description
+	cfg Config
+
+	mu       sync.Mutex
+	running  map[string]*Assignment
+	occupied map[topology.Context]string
+}
+
+// New builds a scheduler for the described machine.
+func New(md *machine.Description, cfg Config) (*Scheduler, error) {
+	if err := md.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		md:       md,
+		cfg:      cfg,
+		running:  make(map[string]*Assignment),
+		occupied: make(map[topology.Context]string),
+	}, nil
+}
+
+// Machine returns the scheduler's machine shape.
+func (s *Scheduler) Machine() topology.Machine { return s.md.Topo }
+
+// FreeContexts returns the unoccupied hardware contexts in dense order.
+func (s *Scheduler) FreeContexts() []topology.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeLocked()
+}
+
+func (s *Scheduler) freeLocked() []topology.Context {
+	var out []topology.Context
+	for _, c := range s.md.Topo.Contexts() {
+		if _, used := s.occupied[c]; !used {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Assignments returns the running assignments sorted by job ID.
+func (s *Scheduler) Assignments() []*Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Assignment, 0, len(s.running))
+	for _, a := range s.running {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.ID < out[j].Job.ID })
+	return out
+}
+
+// Submit admits a job: it evaluates candidate placements over the free
+// contexts jointly with everything running and commits the best one.
+func (s *Scheduler) Submit(job Job) (*Assignment, error) {
+	if job.ID == "" {
+		return nil, fmt.Errorf("scheduler: job needs an ID")
+	}
+	if job.Workload == nil {
+		return nil, fmt.Errorf("scheduler: job %q has no workload description", job.ID)
+	}
+	if err := job.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.running[job.ID]; dup {
+		return nil, fmt.Errorf("scheduler: job %q already running", job.ID)
+	}
+
+	free := s.freeLocked()
+	if len(free) == 0 {
+		return nil, fmt.Errorf("scheduler: no free hardware contexts for job %q", job.ID)
+	}
+	counts := s.candidateCounts(job, len(free))
+
+	type candidate struct {
+		place    placement.Placement
+		strategy string
+	}
+	var candidates []candidate
+	for _, n := range counts {
+		for _, gen := range []struct {
+			name string
+			fn   func([]topology.Context, int, topology.Machine) placement.Placement
+		}{
+			{"pack", packFree},
+			{"spread", spreadFree},
+			{"quiet-socket", s.quietSocketFree},
+		} {
+			if p := gen.fn(free, n, s.md.Topo); p != nil {
+				candidates = append(candidates, candidate{p, gen.name})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("scheduler: no feasible placement for job %q (%d free contexts)", job.ID, len(free))
+	}
+
+	// Joint prediction of each candidate with the running mix.
+	base := make([]core.PlacedWorkload, 0, len(s.running)+1)
+	for _, a := range s.running {
+		base = append(base, core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement})
+	}
+
+	bestScore := -1.0
+	var best *Assignment
+	seen := make(map[string]bool)
+	for _, cand := range candidates {
+		key := cand.place.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		jobs := append(append([]core.PlacedWorkload(nil), base...),
+			core.PlacedWorkload{Workload: job.Workload, Placement: cand.place})
+		co, err := core.PredictCoSchedule(s.md, jobs, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.AdmissionThreshold > 0 && co.WorstOversubscription > s.cfg.AdmissionThreshold {
+			continue
+		}
+		score := aggregateThroughput(co)
+		if score > bestScore {
+			bestScore = score
+			best = &Assignment{
+				Job:        job,
+				Placement:  cand.place,
+				Prediction: co.Predictions[len(jobs)-1],
+				Strategy:   cand.strategy,
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("scheduler: job %q rejected: every candidate exceeds the admission threshold %.2f",
+			job.ID, s.cfg.AdmissionThreshold)
+	}
+
+	s.running[job.ID] = best
+	for _, c := range best.Placement {
+		s.occupied[c] = job.ID
+	}
+	return best, nil
+}
+
+// Remove releases a finished job's contexts.
+func (s *Scheduler) Remove(jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.running[jobID]
+	if !ok {
+		return fmt.Errorf("scheduler: job %q not running", jobID)
+	}
+	for _, c := range a.Placement {
+		delete(s.occupied, c)
+	}
+	delete(s.running, jobID)
+	return nil
+}
+
+// Predict re-predicts the whole running mix jointly (for monitoring).
+func (s *Scheduler) Predict() (*core.CoPrediction, error) {
+	s.mu.Lock()
+	jobs := make([]core.PlacedWorkload, 0, len(s.running))
+	ids := make([]string, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := s.running[id]
+		jobs = append(jobs, core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement})
+	}
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("scheduler: nothing running")
+	}
+	return core.PredictCoSchedule(s.md, jobs, core.Options{})
+}
+
+// candidateCounts resolves the thread-count ladder for a job.
+func (s *Scheduler) candidateCounts(job Job, free int) []int {
+	if job.Threads > 0 {
+		if job.Threads > free {
+			return nil
+		}
+		return []int{job.Threads}
+	}
+	if len(s.cfg.CandidateThreadCounts) > 0 {
+		var out []int
+		for _, n := range s.cfg.CandidateThreadCounts {
+			if n >= 1 && n <= free {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	var out []int
+	for n := 1; n <= free; n *= 2 {
+		out = append(out, n)
+	}
+	if out[len(out)-1] != free {
+		out = append(out, free)
+	}
+	return out
+}
+
+// aggregateThroughput scores a joint prediction: the sum of every job's
+// predicted speedup. Growing the new job raises its own term until its
+// bottleneck saturates, and any interference it inflicts lowers the others'
+// terms, so the maximum balances the new job's progress against the damage
+// it does.
+func aggregateThroughput(co *core.CoPrediction) float64 {
+	var sum float64
+	for _, p := range co.Predictions {
+		sum += p.Speedup
+	}
+	return sum
+}
+
+// packFree takes the first n free contexts in dense order.
+func packFree(free []topology.Context, n int, _ topology.Machine) placement.Placement {
+	if n > len(free) {
+		return nil
+	}
+	return placement.Placement(append([]topology.Context(nil), free[:n]...))
+}
+
+// spreadFree prefers whole idle cores round-robin across sockets, then
+// second contexts.
+func spreadFree(free []topology.Context, n int, m topology.Machine) placement.Placement {
+	if n > len(free) {
+		return nil
+	}
+	freeSet := make(map[topology.Context]bool, len(free))
+	for _, c := range free {
+		freeSet[c] = true
+	}
+	var first, second []topology.Context
+	for slot := 0; slot < m.ThreadsPerCore; slot++ {
+		for core := 0; core < m.CoresPerSocket; core++ {
+			for sock := 0; sock < m.Sockets; sock++ {
+				c := topology.Context{Socket: sock, Core: core, Slot: slot}
+				if !freeSet[c] {
+					continue
+				}
+				if slot == 0 {
+					first = append(first, c)
+				} else {
+					second = append(second, c)
+				}
+			}
+		}
+	}
+	ordered := append(first, second...)
+	if n > len(ordered) {
+		return nil
+	}
+	return placement.Placement(ordered[:n])
+}
+
+// quietSocketFree fills sockets in increasing order of foreign occupancy,
+// isolating the new job from running ones where possible.
+func (s *Scheduler) quietSocketFree(free []topology.Context, n int, m topology.Machine) placement.Placement {
+	if n > len(free) {
+		return nil
+	}
+	busy := make([]int, m.Sockets)
+	for c := range s.occupied {
+		busy[c.Socket]++
+	}
+	order := make([]int, m.Sockets)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return busy[order[a]] < busy[order[b]] })
+
+	bySocket := make([][]topology.Context, m.Sockets)
+	for _, c := range free {
+		bySocket[c.Socket] = append(bySocket[c.Socket], c)
+	}
+	var out placement.Placement
+	for _, sock := range order {
+		for _, c := range bySocket[sock] {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, c)
+		}
+	}
+	if len(out) == n {
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+
+	"pandia/internal/core"
+	"pandia/internal/counters"
+	"pandia/internal/machine"
+	"pandia/internal/simhw"
+	"pandia/internal/topology"
+)
+
+func testMD(t *testing.T) *machine.Description {
+	t.Helper()
+	truth := simhw.X32Truth()
+	truth.NoiseSigma = 0
+	tb, err := simhw.NewTestbed(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := machine.Describe(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+func computeJob(id string) Job {
+	return Job{
+		ID: id,
+		Workload: &core.Workload{
+			Name: id, T1: 100,
+			Demand:       counters.Rates{Instr: 7, L1: 40},
+			ParallelFrac: 0.99, LoadBalance: 0.8, Burstiness: 0.2,
+		},
+	}
+}
+
+func memoryJob(id string) Job {
+	return Job{
+		ID: id,
+		Workload: &core.Workload{
+			Name: id, T1: 100,
+			Demand:       counters.Rates{Instr: 2, DRAM: 6},
+			ParallelFrac: 0.97, LoadBalance: 0.9, Burstiness: 0.1,
+			InterSocketOverhead: 0.01,
+		},
+	}
+}
+
+func TestSubmitAndRemove(t *testing.T) {
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.Machine().TotalContexts()
+	if got := len(s.FreeContexts()); got != total {
+		t.Fatalf("fresh scheduler has %d free contexts, want %d", got, total)
+	}
+
+	j := computeJob("a")
+	j.Threads = 8
+	a, err := s.Submit(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Placement) != 8 {
+		t.Fatalf("assignment has %d threads, want 8", len(a.Placement))
+	}
+	if a.Prediction == nil || a.Prediction.Speedup <= 1 {
+		t.Fatalf("assignment prediction missing or degenerate: %+v", a.Prediction)
+	}
+	if got := len(s.FreeContexts()); got != total-8 {
+		t.Fatalf("free contexts = %d, want %d", got, total-8)
+	}
+	if got := len(s.Assignments()); got != 1 {
+		t.Fatalf("assignments = %d", got)
+	}
+
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.FreeContexts()); got != total {
+		t.Fatalf("after removal free = %d, want %d", got, total)
+	}
+	if err := s.Remove("a"); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Job{}); err == nil {
+		t.Error("job without ID accepted")
+	}
+	if _, err := s.Submit(Job{ID: "x"}); err == nil {
+		t.Error("job without workload accepted")
+	}
+	j := computeJob("a")
+	if _, err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(j); err == nil {
+		t.Error("duplicate job ID accepted")
+	}
+	big := computeJob("big")
+	big.Threads = 1000
+	if _, err := s.Submit(big); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+func TestPlacementsNeverOverlap(t *testing.T) {
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[topology.Context]string)
+	for i := 0; i < 4; i++ {
+		j := memoryJob(fmt.Sprintf("m%d", i))
+		j.Threads = 6
+		a, err := s.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range a.Placement {
+			if owner, dup := seen[c]; dup {
+				t.Fatalf("context %v assigned to both %s and %s", c, owner, a.Job.ID)
+			}
+			seen[c] = a.Job.ID
+		}
+	}
+}
+
+func TestSchedulerSeparatesMemoryJobs(t *testing.T) {
+	// Two memory-bound jobs should land on different sockets: stacking
+	// them on one socket would halve both jobs' bandwidth.
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := s.Submit(func() Job { j := memoryJob("m1"); j.Threads = 6; return j }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Submit(func() Job { j := memoryJob("m2"); j.Threads = 6; return j }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := map[int]bool{}
+	for _, c := range a1.Placement {
+		s1[c.Socket] = true
+	}
+	overlap := 0
+	for _, c := range a2.Placement {
+		if s1[c.Socket] {
+			overlap++
+		}
+	}
+	if len(s1) == 1 && overlap > 0 {
+		t.Errorf("second memory job placed on the first one's socket (%d of %d threads overlap)",
+			overlap, len(a2.Placement))
+	}
+}
+
+func TestAutoThreadCount(t *testing.T) {
+	// Without a requested count, a memory-bound job should not grab every
+	// free context: beyond DRAM saturation extra threads add nothing.
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Submit(memoryJob("auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(a.Placement); n < 2 || n >= s.Machine().TotalContexts() {
+		t.Errorf("auto-sized memory job got %d threads; want saturation-bounded", n)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s, err := New(testMD(t), Config{AdmissionThreshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First heavy job fits under the threshold at some size.
+	if _, err := s.Submit(func() Job { j := memoryJob("m1"); j.Threads = 8; return j }()); err != nil {
+		t.Fatal(err)
+	}
+	// A second identical job on the same machine must be rejected at a
+	// size that would over-subscribe both sockets' DRAM.
+	_, err = s.Submit(func() Job { j := memoryJob("m2"); j.Threads = 16; return j }())
+	if err == nil {
+		t.Error("over-subscribing job admitted despite the threshold")
+	}
+}
+
+func TestPredictRunningMix(t *testing.T) {
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Predict(); err == nil {
+		t.Error("Predict with nothing running succeeded")
+	}
+	if _, err := s.Submit(func() Job { j := computeJob("c"); j.Threads = 4; return j }()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(func() Job { j := memoryJob("m"); j.Threads = 4; return j }()); err != nil {
+		t.Fatal(err)
+	}
+	co, err := s.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Predictions) != 2 {
+		t.Fatalf("joint prediction covers %d jobs, want 2", len(co.Predictions))
+	}
+	for i, p := range co.Predictions {
+		if p.Speedup <= 0 {
+			t.Errorf("job %d degenerate speedup %g", i, p.Speedup)
+		}
+	}
+}

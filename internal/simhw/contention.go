@@ -1,0 +1,194 @@
+package simhw
+
+import (
+	"math"
+	"sort"
+
+	"pandia/internal/topology"
+)
+
+// resTable indexes every contended resource of the machine densely and
+// accumulates, per fixed-point iteration, the total offered load plus enough
+// shape information (count, min, max) to decide between the cheap
+// proportional-sharing slowdown and exact max-min water-filling.
+//
+// Resources share max-min fair: demanders below their fair share are
+// unaffected; the remainder splits among the heavy demanders. When every
+// user offers the same demand (the common case: a homogeneous workload),
+// max-min degenerates to the proportional total/capacity factor, which is
+// also what Pandia's own model assumes (§5.1). The regimes differ only for
+// asymmetric co-location, e.g. a saturating stress application beside a
+// lightly-demanding workload thread.
+type resTable struct {
+	topo   topology.Machine
+	nCores int
+	nSock  int
+	nPairs int
+
+	total []float64
+	minD  []float64
+	maxD  []float64
+	count []int
+	// stress counts users that do not belong to the measured workload
+	// (stress applications). Max-min water-filling only engages when such
+	// foreign users share the resource: the measured workload's own
+	// threads are homogeneous by assumption (§2.3) and share
+	// proportionally, exactly as Pandia's model assumes.
+	stress []int
+
+	// theta caches the per-resource water-filling level for this iteration;
+	// NaN marks "not yet computed".
+	theta []float64
+}
+
+func newResTable(topo topology.Machine) *resTable {
+	t := &resTable{
+		topo:   topo,
+		nCores: topo.TotalCores(),
+		nSock:  topo.Sockets,
+		nPairs: topo.NumSocketPairs(),
+	}
+	n := t.size()
+	t.total = make([]float64, n)
+	t.minD = make([]float64, n)
+	t.maxD = make([]float64, n)
+	t.count = make([]int, n)
+	t.stress = make([]int, n)
+	t.theta = make([]float64, n)
+	return t
+}
+
+func (t *resTable) size() int { return 4*t.nCores + 2*t.nSock + t.nPairs }
+
+// Dense index layout: instruction issue, L1, L2, L3 link (per core), then
+// L3 aggregate and DRAM (per socket), then interconnect (per pair).
+func (t *resTable) instrIdx(core int) int  { return core }
+func (t *resTable) l1Idx(core int) int     { return t.nCores + core }
+func (t *resTable) l2Idx(core int) int     { return 2*t.nCores + core }
+func (t *resTable) l3LinkIdx(core int) int { return 3*t.nCores + core }
+func (t *resTable) l3AggIdx(sock int) int  { return 4*t.nCores + sock }
+func (t *resTable) dramIdx(sock int) int   { return 4*t.nCores + t.nSock + sock }
+func (t *resTable) icIdx(a, b int) int     { return 4*t.nCores + 2*t.nSock + t.topo.PairIndex(a, b) }
+
+func (t *resTable) reset() {
+	for i := range t.total {
+		t.total[i] = 0
+		t.minD[i] = math.Inf(1)
+		t.maxD[i] = 0
+		t.count[i] = 0
+		t.stress[i] = 0
+		t.theta[i] = math.NaN()
+	}
+}
+
+func (t *resTable) add(idx int, d float64, isWorkload bool) {
+	if d <= 0 {
+		return
+	}
+	t.total[idx] += d
+	if d < t.minD[idx] {
+		t.minD[idx] = d
+	}
+	if d > t.maxD[idx] {
+		t.maxD[idx] = d
+	}
+	t.count[idx]++
+	if !isWorkload {
+		t.stress[idx]++
+	}
+}
+
+// capacity returns the resource's capacity; 0 means absent/unlimited.
+// coreOcc supplies per-core active-context counts for the SMT aggregate
+// instruction limit; freqScale supplies each socket's clock relative to the
+// reference point — core-side resources (instruction issue, private cache
+// links) track the clock, while the shared cache, DRAM and interconnect do
+// not.
+func (t *resTable) capacity(mt *MachineTruth, coreOcc []int, freqScale []float64, idx int) float64 {
+	coreFS := func(core int) float64 { return freqScale[core/t.topo.CoresPerSocket] }
+	switch {
+	case idx < t.nCores:
+		c := mt.CoreInstrRate * coreFS(idx)
+		if coreOcc[idx] > 1 {
+			c *= mt.SMTAggFactor
+		}
+		return c
+	case idx < 2*t.nCores:
+		return mt.L1BW * coreFS(idx-t.nCores)
+	case idx < 3*t.nCores:
+		return mt.L2BW * coreFS(idx-2*t.nCores)
+	case idx < 4*t.nCores:
+		return mt.L3LinkBW * coreFS(idx-3*t.nCores)
+	case idx < 4*t.nCores+t.nSock:
+		return mt.L3AggBW
+	case idx < 4*t.nCores+2*t.nSock:
+		return mt.DRAMBW
+	default:
+		return mt.InterconnectBW
+	}
+}
+
+// slowdown returns the contention slowdown that a user offering demand d
+// experiences on resource idx with capacity c, applying water-filling when
+// the user population is heterogeneous.
+func (t *resTable) slowdown(idx int, d, c, q float64, demandsOf func(idx int) []float64) float64 {
+	if c <= 0 || d <= 0 {
+		return 1
+	}
+	u := t.total[idx] / c
+	if u <= 1 {
+		return phi(u, q)
+	}
+	// Proportional sharing unless a foreign program (stress application)
+	// shares the resource with demand unlike the others'.
+	homogeneous := t.count[idx] <= 1 || t.stress[idx] == 0 ||
+		t.maxD[idx]-t.minD[idx] <= 1e-9*t.maxD[idx]
+	if homogeneous {
+		return phi(u, q)
+	}
+	th := t.theta[idx]
+	if math.IsNaN(th) {
+		th = waterfill(demandsOf(idx), c)
+		t.theta[idx] = th
+	}
+	alloc := math.Min(d, th)
+	slow := d / alloc
+	if slow < 1 {
+		slow = 1
+	}
+	return slow * (1 + q*satWeight(u))
+}
+
+// waterfill computes the max-min fair share level theta such that
+// sum(min(d_i, theta)) = c, assuming sum(d) > c.
+func waterfill(demands []float64, c float64) float64 {
+	sort.Float64s(demands)
+	remaining := c
+	k := len(demands)
+	for _, d := range demands {
+		if d*float64(k) <= remaining {
+			remaining -= d
+			k--
+			continue
+		}
+		return remaining / float64(k)
+	}
+	// All demands fit; unreachable when oversubscribed, but return a level
+	// that leaves everyone unthrottled for safety.
+	if len(demands) == 0 {
+		return c
+	}
+	return demands[len(demands)-1]
+}
+
+// satWeight is the ramp used by the queueing excess in phi.
+func satWeight(u float64) float64 {
+	sat := (u - 0.8) / 0.4
+	if sat < 0 {
+		return 0
+	}
+	if sat > 1 {
+		return 1
+	}
+	return sat * sat
+}

@@ -1,0 +1,102 @@
+package simhw
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// jsonTruth is the serialised form of a machine truth, with explicit field
+// names so hand-written machine files stay readable.
+type jsonTruth struct {
+	Topo struct {
+		Name           string `json:"name"`
+		Sockets        int    `json:"sockets"`
+		CoresPerSocket int    `json:"coresPerSocket"`
+		ThreadsPerCore int    `json:"threadsPerCore"`
+	} `json:"topology"`
+	NominalGHz     float64 `json:"nominalGHz"`
+	TurboMaxGHz    float64 `json:"turboMaxGHz"`
+	TurboAllGHz    float64 `json:"turboAllGHz"`
+	CoreInstrRate  float64 `json:"coreInstrRate"`
+	SMTAggFactor   float64 `json:"smtAggFactor"`
+	L1BW           float64 `json:"l1BW"`
+	L2BW           float64 `json:"l2BW"`
+	L3LinkBW       float64 `json:"l3LinkBW"`
+	L3AggBW        float64 `json:"l3AggBW"`
+	DRAMBW         float64 `json:"dramBW"`
+	InterconnectBW float64 `json:"interconnectBW"`
+	L3SizeMB       float64 `json:"l3SizeMB"`
+	AdaptiveCache  bool    `json:"adaptiveCache"`
+	QueueFactor    float64 `json:"queueFactor"`
+	NoiseSigma     float64 `json:"noiseSigma"`
+}
+
+// SaveTruth writes a machine truth to a JSON file, so users can define
+// custom simulated machines for the CLI and facade.
+func SaveTruth(mt MachineTruth, path string) error {
+	var j jsonTruth
+	j.Topo.Name = mt.Topo.Name
+	j.Topo.Sockets = mt.Topo.Sockets
+	j.Topo.CoresPerSocket = mt.Topo.CoresPerSocket
+	j.Topo.ThreadsPerCore = mt.Topo.ThreadsPerCore
+	j.NominalGHz = mt.NominalGHz
+	j.TurboMaxGHz = mt.TurboMaxGHz
+	j.TurboAllGHz = mt.TurboAllGHz
+	j.CoreInstrRate = mt.CoreInstrRate
+	j.SMTAggFactor = mt.SMTAggFactor
+	j.L1BW = mt.L1BW
+	j.L2BW = mt.L2BW
+	j.L3LinkBW = mt.L3LinkBW
+	j.L3AggBW = mt.L3AggBW
+	j.DRAMBW = mt.DRAMBW
+	j.InterconnectBW = mt.InterconnectBW
+	j.L3SizeMB = mt.L3SizeMB
+	j.AdaptiveCache = mt.AdaptiveCache
+	j.QueueFactor = mt.QueueFactor
+	j.NoiseSigma = mt.NoiseSigma
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("simhw: encoding machine truth: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("simhw: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadTruth reads and validates a machine truth from a JSON file.
+func LoadTruth(path string) (MachineTruth, error) {
+	var mt MachineTruth
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mt, fmt.Errorf("simhw: reading %s: %w", path, err)
+	}
+	var j jsonTruth
+	if err := json.Unmarshal(data, &j); err != nil {
+		return mt, fmt.Errorf("simhw: decoding %s: %w", path, err)
+	}
+	mt.Topo.Name = j.Topo.Name
+	mt.Topo.Sockets = j.Topo.Sockets
+	mt.Topo.CoresPerSocket = j.Topo.CoresPerSocket
+	mt.Topo.ThreadsPerCore = j.Topo.ThreadsPerCore
+	mt.NominalGHz = j.NominalGHz
+	mt.TurboMaxGHz = j.TurboMaxGHz
+	mt.TurboAllGHz = j.TurboAllGHz
+	mt.CoreInstrRate = j.CoreInstrRate
+	mt.SMTAggFactor = j.SMTAggFactor
+	mt.L1BW = j.L1BW
+	mt.L2BW = j.L2BW
+	mt.L3LinkBW = j.L3LinkBW
+	mt.L3AggBW = j.L3AggBW
+	mt.DRAMBW = j.DRAMBW
+	mt.InterconnectBW = j.InterconnectBW
+	mt.L3SizeMB = j.L3SizeMB
+	mt.AdaptiveCache = j.AdaptiveCache
+	mt.QueueFactor = j.QueueFactor
+	mt.NoiseSigma = j.NoiseSigma
+	if err := mt.Validate(); err != nil {
+		return mt, err
+	}
+	return mt, nil
+}

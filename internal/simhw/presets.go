@@ -1,0 +1,131 @@
+package simhw
+
+import "pandia/internal/topology"
+
+// Ground-truth hardware models for the paper's evaluation platforms. The
+// shapes come from §6 of the paper; the performance parameters are plausible
+// figures for the respective micro-architectures in the repository's
+// abstract units (GB/s-like bandwidths, Ginstr/s-like instruction rates),
+// quoted at the all-core turbo frequency. Absolute values are not expected
+// to match the authors' testbeds — only consistent relative behaviour
+// matters (§3: "the exact scale is not significant").
+
+// X52Truth models the 2-socket 18-core Haswell X5-2 (Xeon E5-2699 v3 class:
+// 2.3 GHz nominal, 2.8-3.6 GHz turbo, §6.3).
+func X52Truth() MachineTruth {
+	return MachineTruth{
+		Topo:           topology.X52(),
+		NominalGHz:     2.3,
+		TurboMaxGHz:    3.6,
+		TurboAllGHz:    2.8,
+		CoreInstrRate:  11.2,
+		SMTAggFactor:   1.28,
+		L1BW:           250,
+		L2BW:           120,
+		L3LinkBW:       75,
+		L3AggBW:        700,
+		DRAMBW:         68,
+		InterconnectBW: 95,
+		L3SizeMB:       45,
+		AdaptiveCache:  true,
+		QueueFactor:    0.04,
+		NoiseSigma:     0.012,
+	}
+}
+
+// X42Truth models the 2-socket 8-core Ivy Bridge X4-2.
+func X42Truth() MachineTruth {
+	return MachineTruth{
+		Topo:           topology.X42(),
+		NominalGHz:     2.7,
+		TurboMaxGHz:    3.5,
+		TurboAllGHz:    3.0,
+		CoreInstrRate:  10.8,
+		SMTAggFactor:   1.27,
+		L1BW:           230,
+		L2BW:           110,
+		L3LinkBW:       70,
+		L3AggBW:        380,
+		DRAMBW:         60,
+		InterconnectBW: 80,
+		L3SizeMB:       25,
+		AdaptiveCache:  true,
+		QueueFactor:    0.04,
+		NoiseSigma:     0.011,
+	}
+}
+
+// X32Truth models the 2-socket 8-core Sandy Bridge X3-2.
+func X32Truth() MachineTruth {
+	return MachineTruth{
+		Topo:           topology.X32(),
+		NominalGHz:     2.6,
+		TurboMaxGHz:    3.3,
+		TurboAllGHz:    2.9,
+		CoreInstrRate:  9.8,
+		SMTAggFactor:   1.25,
+		L1BW:           210,
+		L2BW:           95,
+		L3LinkBW:       62,
+		L3AggBW:        330,
+		DRAMBW:         48,
+		InterconnectBW: 65,
+		L3SizeMB:       20,
+		AdaptiveCache:  true,
+		QueueFactor:    0.04,
+		NoiseSigma:     0.012,
+	}
+}
+
+// X24Truth models the 4-socket 10-core Westmere X2-4. It is the only
+// machine without adaptive caches, which the paper identifies as a source of
+// its larger errors (§6.2), and its queueing behaviour is rougher.
+func X24Truth() MachineTruth {
+	return MachineTruth{
+		Topo:           topology.X24(),
+		NominalGHz:     2.26,
+		TurboMaxGHz:    2.8,
+		TurboAllGHz:    2.4,
+		CoreInstrRate:  6.0,
+		SMTAggFactor:   1.22,
+		L1BW:           150,
+		L2BW:           70,
+		L3LinkBW:       45,
+		L3AggBW:        280,
+		DRAMBW:         32,
+		InterconnectBW: 40,
+		L3SizeMB:       30,
+		AdaptiveCache:  false,
+		QueueFactor:    0.09,
+		NoiseSigma:     0.015,
+	}
+}
+
+// ToyTruth models the cache-less two-socket dual-core example machine of
+// paper Fig. 3 exactly: per-core instruction throughput 10, DRAM bandwidth
+// 100 per socket, interconnect bandwidth 50, no turbo, no noise, no
+// queueing excess. It exists so tests can reproduce the worked example of
+// §4-§5 digit for digit.
+func ToyTruth() MachineTruth {
+	return MachineTruth{
+		Topo:           topology.Toy(),
+		NominalGHz:     1,
+		TurboMaxGHz:    1,
+		TurboAllGHz:    1,
+		CoreInstrRate:  10,
+		SMTAggFactor:   1,
+		DRAMBW:         100,
+		InterconnectBW: 50,
+	}
+}
+
+// Truths returns the ground-truth machines keyed by model code.
+func Truths() map[string]MachineTruth {
+	return map[string]MachineTruth{
+		"x5-2": X52Truth(),
+		"x4-2": X42Truth(),
+		"x3-2": X32Truth(),
+		"x2-4": X24Truth(),
+		"toy":  ToyTruth(),
+	}
+}

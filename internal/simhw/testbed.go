@@ -1,0 +1,576 @@
+package simhw
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pandia/internal/counters"
+	"pandia/internal/topology"
+)
+
+// PlacedStressor co-locates one stress-application thread with the workload
+// under test (used by the machine description generator and by profiling
+// runs 4 and 5).
+type PlacedStressor struct {
+	Ctx   topology.Context
+	Truth WorkloadTruth
+}
+
+// MemPolicy controls where the workload's memory lives. The zero value is
+// the default first-touch/interleave behaviour: pages spread over the
+// sockets hosting any of the workload's threads. BindSockets emulates
+// numactl, forcing all pages onto the given sockets.
+type MemPolicy struct {
+	BindSockets []int
+}
+
+// RunConfig describes one run on the testbed.
+type RunConfig struct {
+	Workload  WorkloadTruth
+	Placement []topology.Context
+	Stressors []PlacedStressor
+	Memory    MemPolicy
+	Power     PowerMode
+	// Seed perturbs the deterministic measurement noise. Runs with equal
+	// configurations and seeds return identical results.
+	Seed int64
+}
+
+// RunResult reports the outcome of one run.
+type RunResult struct {
+	// Time is the measured wall-clock duration in seconds (noise included).
+	Time float64
+	// Sample is the virtual performance-counter sample for the workload
+	// (stressor activity is not included, mirroring per-process counters).
+	Sample counters.Sample
+	// ThreadRates is the achieved progress rate of each placed workload
+	// thread relative to uncontended full speed (diagnostic; 0 for threads
+	// idled by WorkloadTruth.ActiveThreads).
+	ThreadRates []float64
+}
+
+// Testbed executes runs against one machine truth. It is safe for
+// concurrent use.
+type Testbed struct {
+	truth MachineTruth
+}
+
+// NewTestbed validates the machine truth and returns a testbed for it.
+func NewTestbed(mt MachineTruth) (*Testbed, error) {
+	if err := mt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Testbed{truth: mt}, nil
+}
+
+// Machine returns the shape of the simulated machine (the part of the truth
+// the OS legitimately exposes).
+func (tb *Testbed) Machine() topology.Machine { return tb.truth.Topo }
+
+// L3SizeMB returns the per-socket last-level cache capacity, which the OS
+// exposes (e.g. via sysfs) and the stress applications need to size their
+// arrays (§3.1).
+func (tb *Testbed) L3SizeMB() float64 { return tb.truth.L3SizeMB }
+
+// Truth exposes the ground truth for tests and the benchmark zoo only;
+// prediction code must never consult it.
+func (tb *Testbed) Truth() MachineTruth { return tb.truth }
+
+const (
+	maxFixedPointIters = 80
+	fixedPointTol      = 1e-9
+	spillAdaptiveGain  = 0.15
+	spillCliffGain     = 0.8
+	spillCliffExp      = 0.6
+)
+
+// agent is one demand source in the fixed-point computation: a workload
+// thread or a stressor thread.
+type agent struct {
+	ctx      topology.Context
+	core     int // machine-wide core index
+	demand   counters.Rates
+	dramMult float64
+	burst    float64
+	fInit    float64
+	f        float64
+	sRes     float64 // contention slowdown (incl. burstiness)
+	sTot     float64 // overall slowdown (incl. comm and load balancing)
+	workload bool
+	active   bool
+}
+
+// Run executes one run and returns its measured time and counters.
+func (tb *Testbed) Run(cfg RunConfig) (RunResult, error) {
+	mt := &tb.truth
+	wt := &cfg.Workload
+	if err := wt.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	n := len(cfg.Placement)
+	if n == 0 {
+		return RunResult{}, fmt.Errorf("simhw: empty placement for workload %q", wt.Name)
+	}
+	occupied := make(map[topology.Context]bool, n+len(cfg.Stressors))
+	for _, c := range cfg.Placement {
+		if !mt.Topo.ValidContext(c) {
+			return RunResult{}, fmt.Errorf("simhw: context %v not on machine %s", c, mt.Topo.Name)
+		}
+		if occupied[c] {
+			return RunResult{}, fmt.Errorf("simhw: context %v assigned twice", c)
+		}
+		occupied[c] = true
+	}
+	for _, s := range cfg.Stressors {
+		if err := s.Truth.Validate(); err != nil {
+			return RunResult{}, err
+		}
+		if !mt.Topo.ValidContext(s.Ctx) {
+			return RunResult{}, fmt.Errorf("simhw: stressor context %v not on machine %s", s.Ctx, mt.Topo.Name)
+		}
+		if occupied[s.Ctx] {
+			return RunResult{}, fmt.Errorf("simhw: stressor context %v already occupied", s.Ctx)
+		}
+		occupied[s.Ctx] = true
+	}
+
+	memSockets, err := tb.memorySockets(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	nAct := wt.activeCount(n)
+	amdahl := amdahlSpeedup(wt.ParallelFrac, nAct)
+	fInitWorkload := amdahl / float64(nAct)
+
+	freqScale := tb.socketFreqScales(cfg, nAct)
+	agents, coreOcc := tb.buildAgents(cfg, freqScale, fInitWorkload, nAct)
+	tb.fixedPoint(agents, coreOcc, freqScale, memSockets, wt, nAct)
+
+	return tb.assemble(cfg, agents, memSockets, amdahl, nAct)
+}
+
+// memorySockets resolves the memory policy into the sorted set of sockets
+// holding the workload's pages.
+func (tb *Testbed) memorySockets(cfg RunConfig) ([]int, error) {
+	if bind := cfg.Memory.BindSockets; len(bind) > 0 {
+		seen := make(map[int]bool)
+		var out []int
+		for _, s := range bind {
+			if s < 0 || s >= tb.truth.Topo.Sockets {
+				return nil, fmt.Errorf("simhw: memory bound to socket %d outside machine %s", s, tb.truth.Topo.Name)
+			}
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		sort.Ints(out)
+		return out, nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range cfg.Placement {
+		if !seen[c.Socket] {
+			seen[c.Socket] = true
+			out = append(out, c.Socket)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// socketFreqScales computes each socket's clock relative to the reference
+// operating point under the run's power mode: the turbo frequency depends on
+// how many cores the run keeps active.
+func (tb *Testbed) socketFreqScales(cfg RunConfig, nAct int) []float64 {
+	mt := &tb.truth
+	activeCores := make([]int, mt.Topo.Sockets)
+	if cfg.Power == PowerFilled {
+		for s := range activeCores {
+			activeCores[s] = mt.Topo.CoresPerSocket
+		}
+	} else {
+		coreActive := make(map[int]bool)
+		mark := func(c topology.Context) {
+			g := mt.Topo.GlobalCore(c)
+			if !coreActive[g] {
+				coreActive[g] = true
+				activeCores[c.Socket]++
+			}
+		}
+		for i, c := range cfg.Placement {
+			if i < nAct {
+				mark(c)
+			}
+		}
+		for _, s := range cfg.Stressors {
+			mark(s.Ctx)
+		}
+	}
+	out := make([]float64, mt.Topo.Sockets)
+	for s := range out {
+		out[s] = mt.FreqScale(activeCores[s], cfg.Power)
+	}
+	return out
+}
+
+// buildAgents constructs the demand sources and the per-core occupancy of
+// active agents.
+func (tb *Testbed) buildAgents(cfg RunConfig, freqScale []float64, fInitWorkload float64, nAct int) ([]agent, []int) {
+	mt := &tb.truth
+	wt := &cfg.Workload
+	coreOcc := make([]int, mt.Topo.TotalCores())
+
+	// Cache pressure per socket drives the spill multiplier.
+	pressure := make([]float64, mt.Topo.Sockets)
+	for i, c := range cfg.Placement {
+		if i < nAct {
+			pressure[c.Socket] += wt.WorkingSetMB
+		}
+	}
+	for _, s := range cfg.Stressors {
+		pressure[s.Ctx.Socket] += s.Truth.WorkingSetMB
+	}
+	dramMult := make([]float64, mt.Topo.Sockets)
+	for s := range dramMult {
+		dramMult[s] = mt.spillMultiplier(pressure[s])
+	}
+
+	agents := make([]agent, 0, len(cfg.Placement)+len(cfg.Stressors))
+	add := func(ctx topology.Context, truth *WorkloadTruth, fInit float64, isWorkload, active bool) {
+		g := mt.Topo.GlobalCore(ctx)
+		a := agent{
+			ctx: ctx, core: g,
+			burst: truth.Burstiness,
+			fInit: fInit,
+			f:     fInit,
+			sRes:  1, sTot: 1,
+			dramMult: dramMult[ctx.Socket],
+			workload: isWorkload,
+			active:   active,
+		}
+		if active {
+			spd := speedScale(freqScale[ctx.Socket], truth.MemBoundFrac)
+			a.demand = truth.Demand.Scale(spd)
+			coreOcc[g]++
+		}
+		agents = append(agents, a)
+	}
+	for i, c := range cfg.Placement {
+		add(c, wt, fInitWorkload, true, i < nAct)
+	}
+	for i := range cfg.Stressors {
+		add(cfg.Stressors[i].Ctx, &cfg.Stressors[i].Truth, 1, false, true)
+	}
+	return agents, coreOcc
+}
+
+// spillMultiplier returns the factor by which a socket's cache pressure
+// inflates DRAM demand for threads running there.
+func (mt *MachineTruth) spillMultiplier(pressureMB float64) float64 {
+	if mt.L3SizeMB <= 0 || pressureMB <= mt.L3SizeMB {
+		return 1
+	}
+	over := (pressureMB - mt.L3SizeMB) / pressureMB
+	if mt.AdaptiveCache {
+		return 1 + spillAdaptiveGain*over
+	}
+	return 1 + spillCliffGain*math.Pow(over, spillCliffExp)
+}
+
+// phi is the contention response for homogeneous sharing: linear slowdown
+// beyond saturation with a bounded queueing excess ramping in near
+// saturation.
+func phi(util, q float64) float64 {
+	if util <= 0 {
+		return 1
+	}
+	v := util * (1 + q*satWeight(util))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// forEachDemand enumerates the (resource, offered demand) pairs of an active
+// agent at its current utilisation, applying the memory interleave and the
+// both-directions interconnect accounting convention (calibrated to the
+// paper's Fig. 7 worked example).
+func forEachDemand(t *resTable, a *agent, memSockets []int, memShare float64, fn func(idx int, d float64)) {
+	f := a.f
+	if d := a.demand.Instr * f; d > 0 {
+		fn(t.instrIdx(a.core), d)
+	}
+	if d := a.demand.L1 * f; d > 0 {
+		fn(t.l1Idx(a.core), d)
+	}
+	if d := a.demand.L2 * f; d > 0 {
+		fn(t.l2Idx(a.core), d)
+	}
+	if d := a.demand.L3 * f; d > 0 {
+		fn(t.l3LinkIdx(a.core), d)
+		fn(t.l3AggIdx(a.ctx.Socket), d)
+	}
+	if d := a.demand.DRAM * f * a.dramMult; d > 0 {
+		if a.workload {
+			for _, u := range memSockets {
+				fn(t.dramIdx(u), d*memShare)
+				if u != a.ctx.Socket {
+					fn(t.icIdx(a.ctx.Socket, u), 2*d*memShare)
+				}
+			}
+		} else {
+			fn(t.dramIdx(a.ctx.Socket), d) // stressors allocate locally
+		}
+	}
+}
+
+// fixedPoint iterates demand scaling, contention, communication and load
+// balancing until the utilisation factors converge.
+func (tb *Testbed) fixedPoint(agents []agent, coreOcc []int, freqScale []float64, memSockets []int, wt *WorkloadTruth, nAct int) {
+	mt := &tb.truth
+	q := mt.QueueFactor
+	memShare := 1 / float64(len(memSockets))
+	table := newResTable(mt.Topo)
+
+	// demandsOf collects every user's offered demand on one resource, for
+	// water-filling on heterogeneous resources.
+	demandsOf := func(idx int) []float64 {
+		var ds []float64
+		for i := range agents {
+			if !agents[i].active {
+				continue
+			}
+			forEachDemand(table, &agents[i], memSockets, memShare, func(j int, d float64) {
+				if j == idx {
+					ds = append(ds, d)
+				}
+			})
+		}
+		return ds
+	}
+
+	for iter := 0; iter < maxFixedPointIters; iter++ {
+		table.reset()
+		for i := range agents {
+			if agents[i].active {
+				a := &agents[i]
+				forEachDemand(table, a, memSockets, memShare, func(idx int, d float64) {
+					table.add(idx, d, a.workload)
+				})
+			}
+		}
+
+		// Per-agent contention slowdown: worst over-subscription on the
+		// agent's resource path.
+		for i := range agents {
+			a := &agents[i]
+			if !a.active {
+				a.sRes, a.sTot = 1, 1
+				continue
+			}
+			s := 1.0
+			forEachDemand(table, a, memSockets, memShare, func(idx int, d float64) {
+				c := table.capacity(mt, coreOcc, freqScale, idx)
+				if got := table.slowdown(idx, d, c, q, demandsOf); got > s {
+					s = got
+				}
+			})
+			// Core-sharing burstiness: interference scaled by how busy the
+			// co-runners are.
+			if coreOcc[a.core] > 1 && a.burst > 0 {
+				var coF float64
+				for j := range agents {
+					b := &agents[j]
+					if i != j && b.active && b.core == a.core {
+						coF += b.f
+					}
+				}
+				s += a.burst * s * coF
+			}
+			a.sRes = s
+			a.sTot = s
+		}
+
+		// Communication penalty across sockets for the measured workload,
+		// interpolated between lock-step and work-weighted extremes.
+		if wt.CommCost > 0 && nAct > 1 {
+			var invSum float64
+			for i := range agents {
+				if agents[i].workload && agents[i].active {
+					invSum += 1 / agents[i].sRes
+				}
+			}
+			for i := range agents {
+				a := &agents[i]
+				if !a.workload || !a.active {
+					continue
+				}
+				var pen float64
+				for j := range agents {
+					b := &agents[j]
+					if i == j || !b.workload || !b.active || b.ctx.Socket == a.ctx.Socket {
+						continue
+					}
+					w := (1 / b.sRes) / invSum
+					pen += wt.CommCost * ((1 - wt.LoadBalance) + wt.LoadBalance*float64(nAct)*w)
+				}
+				a.sTot += pen * (a.fInit / a.sRes)
+			}
+		}
+
+		// Load balancing: without dynamic balancing every thread waits for
+		// the slowest.
+		if nAct > 1 {
+			var sMax float64
+			for i := range agents {
+				if agents[i].workload && agents[i].active && agents[i].sTot > sMax {
+					sMax = agents[i].sTot
+				}
+			}
+			l := wt.LoadBalance
+			for i := range agents {
+				a := &agents[i]
+				if a.workload && a.active {
+					a.sTot = (1-l)*sMax + l*a.sTot
+				}
+			}
+		}
+
+		// Utilisation update with damping.
+		var maxDelta float64
+		for i := range agents {
+			a := &agents[i]
+			if !a.active {
+				continue
+			}
+			// Synchronisation penalties idle the thread and shrink its
+			// offered load; contention throttling does not (the demand is
+			// still offered, just serviced slowly). Hence the utilisation
+			// is the initial busy fraction scaled by the share of the
+			// slowdown that contention accounts for, exactly as in the
+			// paper's iteration (§5.4). Geometric damping keeps the map
+			// contractive when penalties are stiff.
+			target := a.fInit * (a.sRes / a.sTot)
+			next := math.Sqrt(a.f * target)
+			if d := math.Abs(next - a.f); d > maxDelta {
+				maxDelta = d
+			}
+			a.f = next
+		}
+		if maxDelta < fixedPointTol {
+			break
+		}
+	}
+}
+
+// assemble turns the converged agent state into a run result with noise and
+// counters.
+func (tb *Testbed) assemble(cfg RunConfig, agents []agent, memSockets []int, amdahl float64, nAct int) (RunResult, error) {
+	mt := &tb.truth
+	wt := &cfg.Workload
+	n := len(cfg.Placement)
+
+	growth := 1 + wt.WorkGrowth*float64(nAct-1)
+	work := wt.SeqTime * growth
+
+	var rateSum float64
+	rates := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := &agents[i]
+		if !a.active {
+			continue
+		}
+		spd := 1.0
+		if a.demand.Instr > 0 && wt.Demand.Instr > 0 {
+			spd = a.demand.Instr / wt.Demand.Instr
+		} else if a.demand.DRAM > 0 && wt.Demand.DRAM > 0 {
+			spd = a.demand.DRAM / wt.Demand.DRAM
+		}
+		rates[i] = spd / a.sTot
+		rateSum += rates[i]
+	}
+	if rateSum <= 0 {
+		return RunResult{}, fmt.Errorf("simhw: workload %q made no progress", wt.Name)
+	}
+	speedup := amdahl * rateSum / float64(nAct)
+	t := work / speedup
+
+	// Deterministic log-normal measurement noise.
+	sigma := mt.NoiseSigma
+	if wt.NoiseSigma > 0 {
+		sigma = wt.NoiseSigma
+	}
+	if sigma > 0 {
+		t *= math.Exp(sigma * tb.noiseZ(cfg))
+	}
+
+	// Counter volumes: useful work is constant across placements; DRAM
+	// traffic additionally reflects cache spill, and interconnect traffic
+	// the remote share of memory accesses.
+	var dramBytes, icBytes float64
+	remote := float64(len(memSockets)-1) / float64(len(memSockets))
+	share := work / float64(nAct)
+	for i := 0; i < n; i++ {
+		a := &agents[i]
+		if !a.active {
+			continue
+		}
+		b := wt.Demand.DRAM * share * a.dramMult
+		dramBytes += b
+		inSet := false
+		for _, u := range memSockets {
+			if u == a.ctx.Socket {
+				inSet = true
+				break
+			}
+		}
+		if inSet {
+			icBytes += 2 * b * remote
+		} else {
+			icBytes += 2 * b
+		}
+	}
+	sample := counters.Sample{
+		Elapsed:           t,
+		Instructions:      wt.Demand.Instr * work,
+		L1Bytes:           wt.Demand.L1 * work,
+		L2Bytes:           wt.Demand.L2 * work,
+		L3Bytes:           wt.Demand.L3 * work,
+		DRAMBytes:         dramBytes,
+		InterconnectBytes: icBytes,
+		Threads:           n,
+	}
+	return RunResult{Time: t, Sample: sample, ThreadRates: rates}, nil
+}
+
+// noiseZ derives a deterministic standard-normal variate from the run
+// configuration, so identical runs measure identical times.
+func (tb *Testbed) noiseZ(cfg RunConfig) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|", tb.truth.Topo.Name, cfg.Workload.Name, cfg.Power, cfg.Seed)
+	for _, c := range cfg.Placement {
+		fmt.Fprintf(h, "%d.%d.%d,", c.Socket, c.Core, c.Slot)
+	}
+	for _, s := range cfg.Stressors {
+		fmt.Fprintf(h, "S%d.%d.%d:%s,", s.Ctx.Socket, s.Ctx.Core, s.Ctx.Slot, s.Truth.Name)
+	}
+	for _, b := range cfg.Memory.BindSockets {
+		fmt.Fprintf(h, "M%d,", b)
+	}
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return rng.NormFloat64()
+}
+
+// amdahlSpeedup is the classic Amdahl's-law speedup for parallel fraction p
+// on n threads.
+func amdahlSpeedup(p float64, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / ((1 - p) + p/float64(n))
+}

@@ -1,0 +1,65 @@
+package simhw
+
+// PowerMode selects the power-management regime of a run (§6.3 of the
+// paper). The zero value is the paper's measurement methodology: Turbo Boost
+// enabled but its effects neutralised by filling otherwise-idle cores with a
+// core-local background load, so every run sees the all-core frequency.
+type PowerMode int
+
+const (
+	// PowerFilled leaves Turbo Boost on and fills idle cores with
+	// background load; the socket always runs at the all-core frequency.
+	PowerFilled PowerMode = iota
+	// PowerTurbo leaves Turbo Boost on with idle cores truly idle; lightly
+	// loaded sockets clock higher.
+	PowerTurbo
+	// PowerNominal disables Turbo Boost; the chip runs at its nominal
+	// frequency regardless of load.
+	PowerNominal
+)
+
+// String names the power mode.
+func (p PowerMode) String() string {
+	switch p {
+	case PowerFilled:
+		return "turbo+filled"
+	case PowerTurbo:
+		return "turbo"
+	case PowerNominal:
+		return "nominal"
+	default:
+		return "PowerMode(?)"
+	}
+}
+
+// Frequency returns the clock (GHz) of cores on a socket with the given
+// number of active cores under the given power mode.
+func (mt *MachineTruth) Frequency(activeCores int, mode PowerMode) float64 {
+	switch mode {
+	case PowerNominal:
+		return mt.NominalGHz
+	case PowerFilled:
+		return mt.TurboAllGHz
+	}
+	cores := mt.Topo.CoresPerSocket
+	if activeCores <= 1 {
+		return mt.TurboMaxGHz
+	}
+	if activeCores >= cores {
+		return mt.TurboAllGHz
+	}
+	frac := float64(activeCores-1) / float64(cores-1)
+	return mt.TurboMaxGHz - (mt.TurboMaxGHz-mt.TurboAllGHz)*frac
+}
+
+// FreqScale returns the frequency relative to the reference operating point
+// (all-core turbo), at which all capacities and demands are quoted.
+func (mt *MachineTruth) FreqScale(activeCores int, mode PowerMode) float64 {
+	return mt.Frequency(activeCores, mode) / mt.TurboAllGHz
+}
+
+// speedScale converts a frequency scale into a progress-rate scale for a
+// workload: compute-bound work tracks the clock, memory-bound work does not.
+func speedScale(freqScale, memBoundFrac float64) float64 {
+	return (1-memBoundFrac)*freqScale + memBoundFrac
+}

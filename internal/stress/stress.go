@@ -1,0 +1,127 @@
+// Package stress defines the synthetic stress applications the machine
+// description generator runs to saturate individual resources (§3 of the
+// paper): tight CPU loops to measure core instruction throughput, and
+// streaming array scans sized to the storage at the far end of each memory
+// link to measure per-link and aggregate bandwidths.
+//
+// On real hardware these would be carefully unrolled loops over arrays; on
+// the simulated testbed they are workload truths whose demand on the target
+// resource vastly exceeds any plausible capacity, so the measured rate is
+// the capacity itself. The array-sizing discipline of §3.1 survives as the
+// working-set size: an L3 stress almost fills the cache, a DRAM stress uses
+// at least 100x the last-level cache so that nearly every access misses.
+package stress
+
+import (
+	"fmt"
+
+	"pandia/internal/counters"
+	"pandia/internal/simhw"
+)
+
+// Saturate is the offered demand used to swamp any resource; the measured
+// throughput then equals the achievable capacity. A measured rate close to
+// Saturate means the resource did not constrain the stress at all (e.g. a
+// machine without that cache level).
+const Saturate = 1e6
+
+// Target names the resource a stress application saturates.
+type Target int
+
+const (
+	// CPU saturates a core's instruction issue (§3.2). Its data set fits
+	// in L1 so no memory link is touched.
+	CPU Target = iota
+	// L1 saturates a core's L1 link.
+	L1
+	// L2 saturates a core's L2 link.
+	L2
+	// L3 saturates the socket's L3: per-core link when run on one core,
+	// aggregate when run on all cores of a socket (§3.1).
+	L3
+	// DRAM saturates a socket's memory links.
+	DRAM
+	// Interconnect saturates a socket-pair link by streaming from memory
+	// bound to a remote socket.
+	Interconnect
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case CPU:
+		return "cpu"
+	case L1:
+		return "l1"
+	case L2:
+		return "l2"
+	case L3:
+		return "l3"
+	case DRAM:
+		return "dram"
+	case Interconnect:
+		return "interconnect"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// App builds the stress application for a target. l3SizeMB is the OS-visible
+// last-level cache size, used to size the arrays; threadsSharing is how many
+// stress threads will divide the target storage between them (each thread
+// accesses a unique set of cache lines, §3.1).
+func App(target Target, l3SizeMB float64, threadsSharing int) simhw.WorkloadTruth {
+	if threadsSharing < 1 {
+		threadsSharing = 1
+	}
+	w := simhw.WorkloadTruth{
+		Name:         fmt.Sprintf("stress-%s", target),
+		SeqTime:      1,
+		ParallelFrac: 1,
+		LoadBalance:  1,
+	}
+	switch target {
+	case CPU:
+		// Integer operations on an L1-resident data set, unrolled to avoid
+		// pipeline and branch stalls (§3.2).
+		w.Demand = counters.Rates{Instr: Saturate}
+		w.WorkingSetMB = 0.02
+	case L1:
+		w.Demand = counters.Rates{Instr: 1, L1: Saturate}
+		w.WorkingSetMB = 0.02
+		w.MemBoundFrac = 1
+	case L2:
+		w.Demand = counters.Rates{Instr: 1, L2: Saturate}
+		w.WorkingSetMB = 0.2
+		w.MemBoundFrac = 1
+	case L3:
+		// Almost fill the cache without spilling: the threads sharing the
+		// socket divide 80% of the capacity between them.
+		w.Demand = counters.Rates{Instr: 1, L3: Saturate}
+		w.WorkingSetMB = 0.8 * l3SizeMB / float64(threadsSharing)
+		w.MemBoundFrac = 1
+	case DRAM, Interconnect:
+		// "We make the array at least 100 times the size of the last level
+		// of cache" (§3.1); every access misses.
+		w.Demand = counters.Rates{Instr: 1, DRAM: Saturate}
+		w.WorkingSetMB = 100 * l3SizeMB / float64(threadsSharing)
+		if w.WorkingSetMB < 1 {
+			w.WorkingSetMB = 1
+		}
+		w.MemBoundFrac = 1
+	}
+	return w
+}
+
+// Background is the core-local busy loop used to occupy otherwise-idle
+// cores during profiling, neutralising Turbo Boost effects (§6.3). It
+// demands little enough not to perturb shared resources; the testbed's
+// PowerFilled mode models its effect on frequency directly.
+func Background() simhw.WorkloadTruth {
+	return simhw.WorkloadTruth{
+		Name:         "stress-background",
+		SeqTime:      1,
+		ParallelFrac: 1,
+		Demand:       counters.Rates{Instr: 0.01},
+	}
+}

@@ -1,0 +1,105 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+
+	"pandia/internal/simhw"
+	"pandia/internal/topology"
+)
+
+func TestAppsAreValidWorkloads(t *testing.T) {
+	for _, target := range []Target{CPU, L1, L2, L3, DRAM, Interconnect} {
+		for _, threads := range []int{1, 8} {
+			w := App(target, 45, threads)
+			if err := (&w).Validate(); err != nil {
+				t.Errorf("%v x%d: %v", target, threads, err)
+			}
+			if !strings.HasPrefix(w.Name, "stress-") {
+				t.Errorf("%v: name %q", target, w.Name)
+			}
+		}
+	}
+	bg := Background()
+	if err := (&bg).Validate(); err != nil {
+		t.Errorf("background: %v", err)
+	}
+}
+
+func TestAppTargetsTheRightResource(t *testing.T) {
+	l3 := 45.0
+	cases := map[Target]func(w simhw.WorkloadTruth) float64{
+		CPU:          func(w simhw.WorkloadTruth) float64 { return w.Demand.Instr },
+		L1:           func(w simhw.WorkloadTruth) float64 { return w.Demand.L1 },
+		L2:           func(w simhw.WorkloadTruth) float64 { return w.Demand.L2 },
+		L3:           func(w simhw.WorkloadTruth) float64 { return w.Demand.L3 },
+		DRAM:         func(w simhw.WorkloadTruth) float64 { return w.Demand.DRAM },
+		Interconnect: func(w simhw.WorkloadTruth) float64 { return w.Demand.DRAM },
+	}
+	for target, get := range cases {
+		w := App(target, l3, 1)
+		if get(w) < Saturate {
+			t.Errorf("%v: target demand %g below Saturate", target, get(w))
+		}
+	}
+}
+
+func TestArraySizingDiscipline(t *testing.T) {
+	l3 := 45.0
+	// L3 stress almost fills the cache; with k threads each takes a share.
+	solo := App(L3, l3, 1)
+	if solo.WorkingSetMB <= 0.5*l3 || solo.WorkingSetMB >= l3 {
+		t.Errorf("solo L3 working set %g, want most of %g without spilling", solo.WorkingSetMB, l3)
+	}
+	eight := App(L3, l3, 8)
+	if eight.WorkingSetMB*8 >= l3 {
+		t.Errorf("8-thread L3 working sets total %g, spills the %g cache", eight.WorkingSetMB*8, l3)
+	}
+	// DRAM stress uses at least 100x the LLC (§3.1).
+	dram := App(DRAM, l3, 1)
+	if dram.WorkingSetMB < 100*l3 {
+		t.Errorf("DRAM working set %g below 100x LLC", dram.WorkingSetMB)
+	}
+	// Cache-less machine (l3 = 0): working set stays positive.
+	if w := App(DRAM, 0, 1); w.WorkingSetMB <= 0 {
+		t.Errorf("cache-less DRAM working set %g", w.WorkingSetMB)
+	}
+	// Degenerate thread count is clamped.
+	if w := App(L3, l3, 0); w.WorkingSetMB <= 0 {
+		t.Errorf("zero-thread app working set %g", w.WorkingSetMB)
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	want := map[Target]string{
+		CPU: "cpu", L1: "l1", L2: "l2", L3: "l3", DRAM: "dram", Interconnect: "interconnect",
+	}
+	for tg, w := range want {
+		if got := tg.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", tg, got, w)
+		}
+	}
+	if got := Target(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown target String() = %q", got)
+	}
+}
+
+// TestStressSaturatesOnTestbed is the end-to-end property the machine
+// description generator relies on: each stress app, run on a testbed,
+// measures approximately the targeted capacity.
+func TestStressSaturatesOnTestbed(t *testing.T) {
+	mt := simhw.X32Truth()
+	mt.NoiseSigma = 0
+	tb, err := simhw.NewTestbed(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := []topology.Context{{Socket: 0, Core: 0, Slot: 0}}
+	res, err := tb.Run(simhw.RunConfig{Workload: App(CPU, mt.L3SizeMB, 1), Placement: solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.Sample.Rates().Instr; rate < 0.85*mt.CoreInstrRate || rate > mt.CoreInstrRate {
+		t.Errorf("CPU stress measured %g, capacity %g", rate, mt.CoreInstrRate)
+	}
+}

@@ -1,0 +1,49 @@
+package topology
+
+// Preset machine shapes matching the evaluation platforms of the paper (§6).
+// The shapes (socket/core/SMT counts) are taken directly from the text; the
+// performance parameters of each machine live in the simulated-hardware
+// ground truths (internal/simhw) and in measured machine descriptions
+// (internal/machine).
+
+// X52 is the 2-socket Haswell system (Oracle X5-2): 18 cores per socket,
+// 72 hardware threads in total.
+func X52() Machine {
+	return Machine{Name: "X5-2 (Haswell)", Sockets: 2, CoresPerSocket: 18, ThreadsPerCore: 2}
+}
+
+// X42 is the 2-socket Ivy Bridge system (Oracle X4-2): 8 cores per socket,
+// 32 hardware threads in total.
+func X42() Machine {
+	return Machine{Name: "X4-2 (Ivy Bridge)", Sockets: 2, CoresPerSocket: 8, ThreadsPerCore: 2}
+}
+
+// X32 is the 2-socket Sandy Bridge system (Oracle X3-2): 8 cores per socket,
+// 32 hardware threads in total.
+func X32() Machine {
+	return Machine{Name: "X3-2 (Sandy Bridge)", Sockets: 2, CoresPerSocket: 8, ThreadsPerCore: 2}
+}
+
+// X24 is the 4-socket Westmere system (Oracle X2-4): 10 cores per socket,
+// 80 hardware threads in total.
+func X24() Machine {
+	return Machine{Name: "X2-4 (Westmere)", Sockets: 4, CoresPerSocket: 10, ThreadsPerCore: 2}
+}
+
+// Toy is the simple two-socket dual-core machine without caches used in the
+// paper's worked examples (Fig. 3): instruction throughput 10 per core, DRAM
+// bandwidth 100 per socket, interconnect bandwidth 50.
+func Toy() Machine {
+	return Machine{Name: "toy (Fig. 3)", Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 2}
+}
+
+// Presets returns the named preset shapes keyed by their short model code.
+func Presets() map[string]Machine {
+	return map[string]Machine{
+		"x5-2": X52(),
+		"x4-2": X42(),
+		"x3-2": X32(),
+		"x2-4": X24(),
+		"toy":  Toy(),
+	}
+}

@@ -1,0 +1,292 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Machine
+		wantErr bool
+	}{
+		{"x5-2", X52(), false},
+		{"x4-2", X42(), false},
+		{"x3-2", X32(), false},
+		{"x2-4", X24(), false},
+		{"toy", Toy(), false},
+		{"single core", Machine{Name: "uni", Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 1}, false},
+		{"zero sockets", Machine{Sockets: 0, CoresPerSocket: 4, ThreadsPerCore: 1}, true},
+		{"negative cores", Machine{Sockets: 1, CoresPerSocket: -1, ThreadsPerCore: 1}, true},
+		{"zero threads", Machine{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 0}, true},
+		{"absurd smt", Machine{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 9}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCounts(t *testing.T) {
+	m := X52()
+	if got := m.TotalCores(); got != 36 {
+		t.Errorf("X5-2 TotalCores = %d, want 36", got)
+	}
+	if got := m.TotalContexts(); got != 72 {
+		t.Errorf("X5-2 TotalContexts = %d, want 72", got)
+	}
+	if got := X24().TotalContexts(); got != 80 {
+		t.Errorf("X2-4 TotalContexts = %d, want 80", got)
+	}
+	if got := X32().TotalContexts(); got != 32 {
+		t.Errorf("X3-2 TotalContexts = %d, want 32", got)
+	}
+}
+
+func TestContextIndexRoundTrip(t *testing.T) {
+	for _, m := range Presets() {
+		seen := make(map[int]bool)
+		for _, c := range m.Contexts() {
+			idx := m.ContextIndex(c)
+			if idx < 0 || idx >= m.TotalContexts() {
+				t.Fatalf("%s: index %d of %v out of range", m.Name, idx, c)
+			}
+			if seen[idx] {
+				t.Fatalf("%s: duplicate index %d", m.Name, idx)
+			}
+			seen[idx] = true
+			if back := m.ContextAt(idx); back != c {
+				t.Fatalf("%s: ContextAt(ContextIndex(%v)) = %v", m.Name, c, back)
+			}
+			if !m.ValidContext(c) {
+				t.Fatalf("%s: enumerated context %v not valid", m.Name, c)
+			}
+		}
+		if len(seen) != m.TotalContexts() {
+			t.Fatalf("%s: enumerated %d contexts, want %d", m.Name, len(seen), m.TotalContexts())
+		}
+	}
+}
+
+func TestValidContextRejects(t *testing.T) {
+	m := X32()
+	bad := []Context{
+		{Socket: -1, Core: 0, Slot: 0},
+		{Socket: 2, Core: 0, Slot: 0},
+		{Socket: 0, Core: 8, Slot: 0},
+		{Socket: 0, Core: 0, Slot: 2},
+	}
+	for _, c := range bad {
+		if m.ValidContext(c) {
+			t.Errorf("ValidContext(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestDistanceBetween(t *testing.T) {
+	a := Context{Socket: 0, Core: 0, Slot: 0}
+	tests := []struct {
+		b    Context
+		want Distance
+	}{
+		{Context{0, 0, 0}, SameContext},
+		{Context{0, 0, 1}, SameCore},
+		{Context{0, 1, 0}, SameSocket},
+		{Context{1, 0, 0}, CrossSocket},
+		{Context{1, 5, 1}, CrossSocket},
+	}
+	for _, tt := range tests {
+		if got := DistanceBetween(a, tt.b); got != tt.want {
+			t.Errorf("DistanceBetween(%v,%v) = %v, want %v", a, tt.b, got, tt.want)
+		}
+		if got := DistanceBetween(tt.b, a); got != tt.want {
+			t.Errorf("distance not symmetric for (%v,%v)", a, tt.b)
+		}
+	}
+}
+
+func TestDistanceString(t *testing.T) {
+	for d, want := range map[Distance]string{
+		SameContext: "same-context",
+		SameCore:    "same-core",
+		SameSocket:  "same-socket",
+		CrossSocket: "cross-socket",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("Distance(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSocketPairs(t *testing.T) {
+	if got := len(X52().SocketPairs()); got != 1 {
+		t.Errorf("2-socket machine has %d pairs, want 1", got)
+	}
+	if got := len(X24().SocketPairs()); got != 6 {
+		t.Errorf("4-socket machine has %d pairs, want 6", got)
+	}
+	uni := Machine{Name: "uni", Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 1}
+	if got := len(uni.SocketPairs()); got != 0 {
+		t.Errorf("1-socket machine has %d pairs, want 0", got)
+	}
+}
+
+func TestMakeSocketPairCanonical(t *testing.T) {
+	if p := MakeSocketPair(3, 1); p != (SocketPair{Lo: 1, Hi: 3}) {
+		t.Errorf("MakeSocketPair(3,1) = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MakeSocketPair(2,2) did not panic")
+		}
+	}()
+	MakeSocketPair(2, 2)
+}
+
+func TestResourcesEnumeration(t *testing.T) {
+	m := X32() // 16 cores, 2 sockets, 1 pair
+	rs := m.Resources()
+	counts := make(map[ResourceKind]int)
+	seen := make(map[ResourceID]bool)
+	for _, r := range rs {
+		if seen[r] {
+			t.Fatalf("duplicate resource %v", r)
+		}
+		seen[r] = true
+		counts[r.Kind]++
+	}
+	want := map[ResourceKind]int{
+		ResInstr: 16, ResL1: 16, ResL2: 16, ResL3Link: 16,
+		ResL3Agg: 2, ResDRAM: 2, ResInterconnect: 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%v: %d resources, want %d", k, counts[k], n)
+		}
+	}
+}
+
+func TestResourceKindClassification(t *testing.T) {
+	for k := ResourceKind(0); int(k) < NumResourceKinds; k++ {
+		perCore, perSocket := k.PerCore(), k.PerSocket()
+		isLink := k == ResInterconnect
+		n := 0
+		if perCore {
+			n++
+		}
+		if perSocket {
+			n++
+		}
+		if isLink {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%v: classified into %d families, want exactly 1", k, n)
+		}
+	}
+}
+
+func TestResourceConstructors(t *testing.T) {
+	m := X32()
+	c := Context{Socket: 1, Core: 3, Slot: 0}
+	r := m.CoreResource(ResL2, c)
+	if r.Index != 11 {
+		t.Errorf("CoreResource index = %d, want 11", r.Index)
+	}
+	if s := SocketResource(ResDRAM, 1); s.Index != 1 || s.Kind != ResDRAM {
+		t.Errorf("SocketResource = %v", s)
+	}
+	if ic := InterconnectResource(1, 0); ic.Pair != (SocketPair{0, 1}) {
+		t.Errorf("InterconnectResource = %v", ic)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CoreResource with per-socket kind did not panic")
+		}
+	}()
+	m.CoreResource(ResDRAM, c)
+}
+
+func TestSocketResourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SocketResource with per-core kind did not panic")
+		}
+	}()
+	SocketResource(ResL1, 0)
+}
+
+func TestStrings(t *testing.T) {
+	c := Context{Socket: 1, Core: 2, Slot: 1}
+	if got := c.String(); got != "s1/c2/t1" {
+		t.Errorf("Context.String() = %q", got)
+	}
+	r := ResourceID{Kind: ResDRAM, Index: 1}
+	if got := r.String(); got != "dram[1]" {
+		t.Errorf("ResourceID.String() = %q", got)
+	}
+	ic := InterconnectResource(0, 1)
+	if got := ic.String(); got != "interconnect[s0<->s1]" {
+		t.Errorf("interconnect String() = %q", got)
+	}
+}
+
+// Property: ContextAt(ContextIndex(c)) == c for arbitrary valid contexts on
+// arbitrary small machines.
+func TestQuickContextRoundTrip(t *testing.T) {
+	f := func(sock, core, slot uint8, s, c, tpc uint8) bool {
+		m := Machine{
+			Name:           "q",
+			Sockets:        1 + int(s%4),
+			CoresPerSocket: 1 + int(c%24),
+			ThreadsPerCore: 1 + int(tpc%2),
+		}
+		ctx := Context{
+			Socket: int(sock) % m.Sockets,
+			Core:   int(core) % m.CoresPerSocket,
+			Slot:   int(slot) % m.ThreadsPerCore,
+		}
+		return m.ContextAt(m.ContextIndex(ctx)) == ctx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance classification is symmetric and SameContext iff equal.
+func TestQuickDistanceSymmetry(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		a := Context{int(a1 % 4), int(a2 % 8), int(a3 % 2)}
+		b := Context{int(b1 % 4), int(b2 % 8), int(b3 % 2)}
+		d1, d2 := DistanceBetween(a, b), DistanceBetween(b, a)
+		if d1 != d2 {
+			return false
+		}
+		return (d1 == SameContext) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairIndexDense(t *testing.T) {
+	for _, m := range []Machine{X52(), X24()} {
+		pairs := m.SocketPairs()
+		if len(pairs) != m.NumSocketPairs() {
+			t.Fatalf("%s: NumSocketPairs=%d, enumeration=%d", m.Name, m.NumSocketPairs(), len(pairs))
+		}
+		for i, p := range pairs {
+			if got := m.PairIndex(p.Lo, p.Hi); got != i {
+				t.Errorf("%s: PairIndex(%d,%d)=%d, want %d", m.Name, p.Lo, p.Hi, got, i)
+			}
+			if got := m.PairIndex(p.Hi, p.Lo); got != i {
+				t.Errorf("%s: PairIndex not symmetric for %v", m.Name, p)
+			}
+		}
+	}
+}

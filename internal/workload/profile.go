@@ -1,0 +1,302 @@
+// Package workload builds Pandia's workload descriptions from the six
+// carefully-selected profiling runs of §4: single-thread demands, parallel
+// fraction, inter-socket overhead, load-balancing factor, and core
+// burstiness. Each step depends only on parameters established by earlier
+// steps; partial models plus the predictor supply the "known factors" k_x
+// so that each new parameter explains exactly the residual u_x = r_x / k_x.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pandia/internal/core"
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+	"pandia/internal/simhw"
+	"pandia/internal/stress"
+	"pandia/internal/topology"
+)
+
+// RunRecord documents one profiling run.
+type RunRecord struct {
+	// Step is the paper's run number (1..6).
+	Step int
+	// Placement used for the workload's threads.
+	Placement placement.Placement
+	// Stressors is how many stress threads were co-located.
+	Stressors int
+	// Time is the measured wall-clock duration.
+	Time float64
+}
+
+// Profile is the outcome of profiling one workload on one machine.
+type Profile struct {
+	// Workload is the resulting description for the predictor.
+	Workload core.Workload
+	// Runs lists the profiling runs performed.
+	Runs []RunRecord
+	// Cost is the total machine time spent profiling, used by the sweep
+	// comparison of §6.3.
+	Cost float64
+}
+
+// Profiler orchestrates the six profiling runs on a testbed.
+type Profiler struct {
+	// TB is the machine the workload runs on.
+	TB *simhw.Testbed
+	// MD is the machine's description, used to size run 2 and to compute
+	// the partial-model known factors.
+	MD *machine.Description
+	// Seed perturbs the testbed's measurement noise.
+	Seed int64
+}
+
+// Profile runs the six profiling steps for the workload and assembles its
+// description.
+func (p *Profiler) Profile(truth simhw.WorkloadTruth) (*Profile, error) {
+	if p.TB == nil || p.MD == nil {
+		return nil, fmt.Errorf("workload: profiler needs a testbed and a machine description")
+	}
+	topo := p.TB.Machine()
+	out := &Profile{Workload: core.Workload{Name: truth.Name}}
+	w := &out.Workload
+
+	run := func(step int, place placement.Placement, stressors []simhw.PlacedStressor) (simhw.RunResult, error) {
+		res, err := p.TB.Run(simhw.RunConfig{
+			Workload:  truth,
+			Placement: place,
+			Stressors: stressors,
+			Power:     simhw.PowerFilled,
+			Seed:      p.Seed,
+		})
+		if err != nil {
+			return res, fmt.Errorf("workload: profiling run %d of %q: %w", step, truth.Name, err)
+		}
+		out.Runs = append(out.Runs, RunRecord{
+			Step: step, Placement: place, Stressors: len(stressors), Time: res.Time,
+		})
+		out.Cost += res.Time
+		return res, nil
+	}
+
+	// Step 1: single-thread time and resource demands (§4.1).
+	solo := placement.Placement{{Socket: 0, Core: 0, Slot: 0}}
+	res1, err := run(1, solo, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.T1 = res1.Time
+	w.Demand = res1.Sample.PerThreadRates()
+	w.Demand.Interconnect = 0 // derived from DRAM demand and placement
+
+	// Step 2: parallel fraction (§4.2). One thread per core on socket 0,
+	// with the thread count low enough that no shared resource is
+	// over-subscribed, and even so later runs can reuse it.
+	n2 := p.chooseRun2Threads(w)
+	place2, err := placement.OnePerCore(topo, 0, n2)
+	if err != nil {
+		return nil, fmt.Errorf("workload: placing run 2: %w", err)
+	}
+	res2, err := run(2, place2, nil)
+	if err != nil {
+		return nil, err
+	}
+	r2 := res2.Time / w.T1
+	w.ParallelFrac = clamp((1-r2)/(1-1/float64(n2)), 0, 1)
+
+	// Step 3: inter-socket overhead (§4.3). Split the run-2 threads evenly
+	// across two sockets; every thread then sees the same number of
+	// cross-socket links, so the load-balancing factor (not yet known)
+	// cannot influence the result. The overhead is the value that makes
+	// the partial model reproduce the measured time exactly.
+	if topo.Sockets > 1 {
+		place3, err := placement.SplitAcrossSockets(topo, n2)
+		if err != nil {
+			return nil, fmt.Errorf("workload: placing run 3: %w", err)
+		}
+		res3, err := run(3, place3, nil)
+		if err != nil {
+			return nil, err
+		}
+		w.InterSocketOverhead, err = p.solveOverhead(w, place3, res3.Time)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Steps 4 and 5: load-balancing factor (§4.4). Run 4 slows every
+	// thread with a co-located CPU-bound loop; run 5 slows only one.
+	if topo.ThreadsPerCore >= 2 {
+		cpuStress := stress.App(stress.CPU, p.TB.L3SizeMB(), 1)
+		all := make([]simhw.PlacedStressor, n2)
+		for i := 0; i < n2; i++ {
+			all[i] = simhw.PlacedStressor{
+				Ctx:   topology.Context{Socket: 0, Core: i, Slot: 1},
+				Truth: cpuStress,
+			}
+		}
+		res4, err := run(4, place2, all)
+		if err != nil {
+			return nil, err
+		}
+		res5, err := run(5, place2, all[:1])
+		if err != nil {
+			return nil, err
+		}
+		w.LoadBalance = solveLoadBalance(w.ParallelFrac, n2,
+			res4.Time/res2.Time, res5.Time/res2.Time)
+	} else {
+		w.LoadBalance = 0.5
+	}
+
+	// Step 6: core burstiness (§4.5). The run-2 threads packed two per
+	// core; the unknown factor beyond the steps-1..4 model, relative to
+	// run 2's residual, is the burstiness.
+	if topo.ThreadsPerCore >= 2 {
+		place6, err := placement.PackedPairs(topo, 0, n2)
+		if err != nil {
+			return nil, fmt.Errorf("workload: placing run 6: %w", err)
+		}
+		res6, err := run(6, place6, nil)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.solveBurstiness(w, place2, place6, res2.Time, res6.Time)
+		if err != nil {
+			return nil, err
+		}
+		w.Burstiness = b
+	}
+
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: profiling %q produced an invalid description: %w", truth.Name, err)
+	}
+	return out, nil
+}
+
+// chooseRun2Threads picks the largest even thread count that fits one per
+// core on a socket without over-subscribing any shared resource at the
+// run-1 demand rates (§4.2).
+func (p *Profiler) chooseRun2Threads(w *core.Workload) int {
+	topo := p.TB.Machine()
+	n := topo.CoresPerSocket
+	if n%2 == 1 {
+		n--
+	}
+	for ; n > 2; n -= 2 {
+		nf := float64(n)
+		if w.Demand.L3*nf <= p.MD.L3AggBW || p.MD.L3AggBW == 0 {
+			if w.Demand.DRAM*nf <= p.MD.DRAMBW {
+				break
+			}
+		}
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// solveOverhead finds the smallest inter-socket overhead os that makes the
+// partial model (steps 1-2) predict the measured run-3 time, by bisection.
+// The extraction is the exact inverse of the predictor, so the finished
+// model reproduces run 3 by construction.
+//
+// Taking the smallest consistent value matters because the predicted time
+// can plateau in os: when run 3 saturates the interconnect, the predictor's
+// feedback trades the communication penalty against contention one-for-one
+// and the parameter is unidentifiable from this run (the paper's own worked
+// example is in this regime: its run 3 takes 800 s whatever os is). Any
+// value on the plateau reproduces the measurement; Occam picks the edge.
+func (p *Profiler) solveOverhead(w *core.Workload, place placement.Placement, measured float64) (float64, error) {
+	const osMax = 20.0
+	trial := *w
+	predict := func(os float64) (float64, error) {
+		trial.InterSocketOverhead = os
+		pred, err := core.Predict(p.MD, &trial, place, core.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("workload: partial-model prediction: %w", err)
+		}
+		return pred.Time, nil
+	}
+	// reaches reports whether this os explains at least the measured time.
+	reaches := func(t float64) bool { return t >= measured*(1-1e-12) }
+	base, err := predict(0)
+	if err != nil {
+		return 0, err
+	}
+	if reaches(base) {
+		return 0, nil // run 3 no slower than the contention-only model predicts
+	}
+	hi, err := predict(osMax)
+	if err != nil {
+		return 0, err
+	}
+	if !reaches(hi) {
+		return osMax, nil
+	}
+	lo, hiOS := 0.0, osMax
+	for i := 0; i < 60; i++ {
+		mid := (lo + hiOS) / 2
+		t, err := predict(mid)
+		if err != nil {
+			return 0, err
+		}
+		if reaches(t) {
+			hiOS = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hiOS) / 2, nil
+}
+
+// solveLoadBalance interpolates the measured one-slow-thread slowdown
+// between the lock-step and fully-balanced extremes (§4.4).
+//
+// sigmaAll = t4/t2 is the slowdown when every thread is delayed equally;
+// sigmaOne = t5/t2 is the measured slowdown with a single delayed thread.
+func solveLoadBalance(parallelFrac float64, n int, sigmaAll, sigmaOne float64) float64 {
+	if sigmaAll < 1 {
+		sigmaAll = 1
+	}
+	pf := parallelFrac
+	nf := float64(n)
+	// One thread slowed to sigmaAll, the rest at 1.
+	lock := (1 - pf) + pf*sigmaAll
+	bal := (1 - pf) + pf*nf/((nf-1)+1/sigmaAll)
+	if lock-bal < 1e-9 {
+		return 0.5 // the stressor added no skew; no information
+	}
+	return clamp((lock-sigmaOne)/(lock-bal), 0, 1)
+}
+
+// solveBurstiness computes b from runs 2 and 6 (§4.5): the residual of the
+// packed run beyond the steps-1..4 model, normalised by run 2's residual
+// and by the packed run's predicted thread utilisation:
+//
+//	b = (1/f6) * (u6/u2 - 1)
+func (p *Profiler) solveBurstiness(w *core.Workload, place2, place6 placement.Placement, t2, t6 float64) (float64, error) {
+	trial := *w
+	trial.Burstiness = 0
+	pred2, err := core.Predict(p.MD, &trial, place2, core.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("workload: run-2 known factors: %w", err)
+	}
+	pred6, err := core.Predict(p.MD, &trial, place6, core.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("workload: run-6 known factors: %w", err)
+	}
+	u2 := t2 / pred2.Time
+	u6 := t6 / pred6.Time
+	f6 := pred6.Utilizations[0]
+	if f6 <= 0 || u2 <= 0 {
+		return 0, nil
+	}
+	return clamp((u6/u2-1)/f6, 0, 10), nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
