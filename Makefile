@@ -1,0 +1,33 @@
+# Development gates for the pandia repo.
+#
+#   make check   - the full tier-1+ gate: build, go vet, pandia-vet, race tests.
+#                  Run this before sending changes; CI-equivalent.
+#   make test    - the plain tier-1 gate (build + tests), as in ROADMAP.md.
+#   make vet     - the custom static analyzers only (cmd/pandia-vet).
+#   make fuzz    - short fuzzing pass over the parser/topology targets.
+
+GO ?= go
+
+.PHONY: check test vet pandia-vet fuzz build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet: pandia-vet
+
+pandia-vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/pandia-vet ./...
+
+check: build
+	$(GO) vet ./...
+	$(GO) run ./cmd/pandia-vet ./...
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzParseShape -fuzztime 30s ./internal/placement/
+	$(GO) test -fuzz FuzzShapeExpand -fuzztime 30s ./internal/placement/
+	$(GO) test -fuzz FuzzMachineJSON -fuzztime 30s ./internal/topology/

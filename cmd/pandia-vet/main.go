@@ -1,0 +1,220 @@
+// Command pandia-vet is the repository's static-analysis multichecker. It
+// runs the custom passes under internal/analysis — unitcheck, detlint,
+// nanguard, mutcheck, errlint — over module packages and exits non-zero if
+// any finding is reported.
+//
+// Usage:
+//
+//	pandia-vet [flags] [packages]
+//
+// Packages may be import paths ("pandia/internal/core"), directories
+// ("./internal/core"), or the "./..." wildcard (the default). Each analyzer
+// may restrict itself to the packages it is meant for (e.g. detlint guards
+// only the prediction core); -all overrides the restrictions and runs every
+// analyzer everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pandia/internal/analysis"
+	"pandia/internal/analysis/detlint"
+	"pandia/internal/analysis/errlint"
+	"pandia/internal/analysis/mutcheck"
+	"pandia/internal/analysis/nanguard"
+	"pandia/internal/analysis/unitcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	unitcheck.Analyzer,
+	detlint.Analyzer,
+	nanguard.Analyzer,
+	mutcheck.Analyzer,
+	errlint.Analyzer,
+}
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "run every analyzer on every package, ignoring per-analyzer restrictions")
+		tests   = flag.Bool("tests", false, "include in-package _test.go files")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		verbose = flag.Bool("v", false, "print each package as it is checked")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pandia-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(modDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+
+	pkgs, err := resolvePatterns(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandia-vet: %v\n", err)
+			findings++
+			continue
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checking %s\n", path)
+		}
+		for _, a := range selected {
+			if !*all && a.Restrict != nil && !a.Restrict(path) {
+				continue
+			}
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pandia-vet: %v\n", err)
+				findings++
+				continue
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				rel, rerr := filepath.Rel(modDir, pos.Filename)
+				if rerr != nil {
+					rel = pos.Filename
+				}
+				fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands the command-line package arguments into import
+// paths. Supported forms: "./..." (every module package), "...", import
+// paths, and relative directories.
+func resolvePatterns(l *analysis.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	// importPath maps one non-wildcard argument (import path or directory)
+	// onto its module import path.
+	importPath := func(arg string) (string, error) {
+		if arg == l.ModulePath || strings.HasPrefix(arg, l.ModulePath+"/") {
+			return arg, nil
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(l.ModuleDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("package %q is outside module %s", arg, l.ModulePath)
+		}
+		if rel == "." {
+			return l.ModulePath, nil
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			pkgs, err := l.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				add(p)
+			}
+			continue
+		}
+		if base, ok := strings.CutSuffix(arg, "/..."); ok {
+			prefix, err := importPath(base)
+			if err != nil {
+				return nil, err
+			}
+			pkgs, err := l.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range pkgs {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("no packages match %q", arg)
+			}
+			continue
+		}
+		p, err := importPath(arg)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+// Package detlint enforces determinism in the predictor's core paths.
+//
+// The fixed-point loop (§5) must produce bit-identical results run-to-run:
+// golden tests, the ablation tables, and cross-machine portability studies
+// all diff floating-point outputs exactly. Three Go constructs silently
+// break that: map range iteration (random order — and float accumulation is
+// not associative, so even "order-independent" sums drift), time.Now, and
+// the process-seeded global math/rand source. This pass forbids all three
+// inside the prediction packages (internal/core, internal/simhw,
+// internal/eval by default). Seeded generators built with
+// rand.New(rand.NewSource(seed)) are fine; test files are exempt; a
+// deliberate order-independent iteration can carry a //detlint:ignore
+// comment with a justification.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pandia/internal/analysis"
+)
+
+// Analyzer is the detlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "forbid nondeterministic constructs (map range, time.Now, global math/rand) " +
+		"in the prediction core",
+	Run:      run,
+	Restrict: analysis.RestrictTo("internal/core", "internal/simhw", "internal/eval"),
+}
+
+// seededConstructors are the math/rand functions that build explicitly
+// seeded generators and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// isKeyCollection recognises the canonical deterministic-iteration prelude —
+// `for k := range m { keys = append(keys, k) }` — which is order-independent
+// by construction (the keys are sorted before use). The loop must bind only
+// the key and its body must be a single append of that key.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Key == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		comments := analysis.LineComments(pass.Fset, f)
+		ignored := func(n ast.Node) bool {
+			return strings.Contains(comments[pass.Fset.Position(n.Pos()).Line], "detlint:ignore")
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if pass.IsTestFile(n.Pos()) || ignored(n) {
+					return true
+				}
+				t := pass.TypesInfo.Types[n.X].Type
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollection(n) {
+					pass.Reportf(n.Pos(),
+						"nondeterministic iteration over map %s; iterate sorted keys instead",
+						types.ExprString(n.X))
+				}
+			case *ast.CallExpr:
+				if pass.IsTestFile(n.Pos()) || ignored(n) {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+					pass.Reportf(n.Pos(), "time.Now breaks run-to-run determinism; inject the clock")
+				case fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2":
+					sig, _ := fn.Type().(*types.Signature)
+					if sig != nil && sig.Recv() == nil && !seededConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"global math/rand source is process-seeded; use rand.New(rand.NewSource(seed))")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata", detlint.Analyzer, "a")
+}

@@ -1,0 +1,105 @@
+// Package errlint flags silently dropped errors from writers in the
+// evaluation/reporting paths.
+//
+// The eval package's CSV, table, and JSON writers are the repository's
+// interface to plotting pipelines and regression tracking; a short write
+// that vanishes (full disk, closed pipe) corrupts golden data without any
+// signal. This pass reports any statement-level call whose error result is
+// discarded. It knows that strings.Builder and bytes.Buffer never fail —
+// calls writing only to those (including through fmt.Fprintf) are exempt —
+// and it leaves `defer f.Close()` and explicit `_ =` discards alone, since
+// both are visible, deliberate decisions.
+package errlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pandia/internal/analysis"
+)
+
+// Analyzer is the errlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errlint",
+	Doc:      "flag statement-level calls whose error result is silently dropped",
+	Run:      run,
+	Restrict: analysis.RestrictTo("internal/eval"),
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || pass.IsTestFile(call.Pos()) {
+				return true
+			}
+			if !returnsError(pass, call) || infallible(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is dropped; handle or assign it",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's only or last result is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// infallible reports whether the call can never return a non-nil error:
+// methods on strings.Builder / bytes.Buffer, and fmt.Fprint* writing to one
+// of those.
+func infallible(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method on an infallible writer?
+	if recv := pass.TypesInfo.Types[sel.X].Type; recv != nil && isInfallibleWriter(recv) {
+		return true
+	}
+	// fmt.Fprint* with an infallible writer argument?
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil && isInfallibleWriter(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}

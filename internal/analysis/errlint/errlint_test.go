@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analysistest.Run(t, "testdata", errlint.Analyzer, "a")
+}

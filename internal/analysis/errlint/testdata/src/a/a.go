@@ -1,0 +1,35 @@
+package a
+
+// Fixture for errlint: silently dropped error results are flagged;
+// handled errors, explicit discards, infallible writers, and defers pass.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func bad(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "row %d\n", 1) // want `error result of fmt\.Fprintf is dropped`
+	fmt.Fprintln(w, "done")       // want `error result of fmt\.Fprintln is dropped`
+	f.Sync()                      // want `error result of f\.Sync is dropped`
+	f.Close()                     // want `error result of f\.Close is dropped`
+}
+
+func good(w io.Writer, f *os.File) error {
+	if _, err := fmt.Fprintf(w, "row %d\n", 1); err != nil {
+		return err
+	}
+	// Explicit discard is a visible decision.
+	_, _ = fmt.Fprintln(w, "done")
+	// strings.Builder writes cannot fail.
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "y%d", 2)
+	// Deferred Close on read paths is conventional.
+	defer f.Close()
+	// Calls without error results are out of scope.
+	_ = b.Len()
+	return nil
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("pandia/internal/core", or the fixture-relative
+	// path for analysistest packages).
+	Path string
+	// Dir is the directory holding the package sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without external dependencies.
+// Imports resolve in three tiers: paths inside this module load from the
+// module tree, paths under FixtureRoot load GOPATH-style (for analysistest
+// fixtures), and everything else goes to the standard library's source
+// importer.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath and ModuleDir anchor module-local import resolution.
+	ModulePath string
+	ModuleDir  string
+	// FixtureRoot, when set, resolves bare import paths against a
+	// testdata/src-style tree, mirroring analysistest.
+	FixtureRoot string
+	// IncludeTests adds in-package _test.go files to the compile unit.
+	// External test packages (package foo_test) are never loaded.
+	IncludeTests bool
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewLoader builds a loader for the module rooted at dir (reading the module
+// path from go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", moduleDir)
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		ModuleDir:  moduleDir,
+	}, nil
+}
+
+func (l *Loader) init() {
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	if l.pkgs == nil {
+		l.pkgs = make(map[string]*Package)
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	}
+}
+
+// dirFor maps an import path to a source directory, or "" if the path is not
+// module-local and not a fixture package.
+func (l *Loader) dirFor(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+		}
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Load parses and type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.init()
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: cannot resolve import %q", path)
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	files = samePackageFiles(files)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if l.dirFor(importPath) != "" {
+				dep, err := l.Load(importPath)
+				if err != nil {
+					return nil, err
+				}
+				return dep.Types, nil
+			}
+			return l.std.ImportFrom(importPath, dir, 0)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// sourceFiles lists the buildable .go files of dir for the current platform,
+// honouring build constraints via go/build.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// samePackageFiles drops external-test-package files (package foo_test),
+// which form a separate compile unit, keeping the majority package.
+func samePackageFiles(files []*ast.File) []*ast.File {
+	base := ""
+	for _, f := range files {
+		name := f.Name.Name
+		if !strings.HasSuffix(name, "_test") {
+			base = name
+			break
+		}
+	}
+	if base == "" {
+		return files
+	}
+	var out []*ast.File
+	for _, f := range files {
+		if f.Name.Name == base {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ModulePackages walks the module tree and returns the import paths of every
+// buildable package, skipping testdata, hidden directories, and results.
+func (l *Loader) ModulePackages() ([]string, error) {
+	l.init()
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "results" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if len(out) == 0 || out[len(out)-1] != path {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	out = dedupe(out)
+	return out, nil
+}
+
+func dedupe(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,12 @@
+package mutcheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/mutcheck"
+)
+
+func TestMutcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", mutcheck.Analyzer, "a", "placement")
+}

@@ -1,0 +1,31 @@
+// Fixture stand-in for the real placement package: defines the protected
+// types and mutates them legally inside their own package.
+package placement
+
+type Context struct {
+	Socket, Core, Slot int
+}
+
+type Placement []Context
+
+type SocketCount struct {
+	Ones, Twos int
+}
+
+type Shape struct {
+	PerSocket []SocketCount
+}
+
+// Canonical mutates in-package, which is allowed.
+func (s *Shape) Canonical() {
+	for i := range s.PerSocket {
+		if s.PerSocket[i].Ones < 0 {
+			s.PerSocket[i].Ones = 0
+		}
+	}
+}
+
+// Swap mutates a Placement in-package, which is allowed.
+func (p Placement) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+}

@@ -1,0 +1,15 @@
+// Fixture stand-in for the real topology package.
+package topology
+
+type Machine struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+}
+
+// Normalize mutates in-package, which is allowed.
+func (m *Machine) Normalize() {
+	if m.Sockets < 1 {
+		m.Sockets = 1
+	}
+}

@@ -1,0 +1,12 @@
+package nanguard_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/nanguard"
+)
+
+func TestNanguard(t *testing.T) {
+	analysistest.Run(t, "testdata", nanguard.Analyzer, "a")
+}

@@ -1,0 +1,143 @@
+// Package unitcheck flags arithmetic that mixes identifier families with
+// incompatible unit suffixes.
+//
+// The paper's model is unit-agnostic — "so long as consistent units are
+// used ... the exact scale is not significant" (§3) — which makes unit
+// mixing the one numeric bug class the type system cannot catch: adding a
+// byte volume to a duration type-checks fine and silently corrupts every
+// downstream prediction. This pass gives the familiar suffix families a
+// dimension: identifiers ending in Bytes, Secs/Seconds, Hz (incl. GHz/MHz),
+// and PerSec may only be added, subtracted, or compared with members of the
+// same family. Crossing families requires an explicit conversion helper
+// (any function call — `bytesOf(d)` — resets the family to the callee's).
+// Multiplication and division are exempt: they legitimately combine
+// dimensions (Bytes / Secs yields a rate).
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pandia/internal/analysis"
+)
+
+// Analyzer is the unitcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag +,- and comparisons mixing identifiers of different unit families " +
+		"(Bytes, Secs, Hz, PerSec) without an explicit conversion",
+	Run: run,
+}
+
+// families maps identifier suffixes to unit families. Longer suffixes are
+// matched first so PerSec wins over Sec.
+var families = []struct {
+	suffix, family string
+}{
+	{"PerSec", "rate(PerSec)"},
+	{"Seconds", "seconds"},
+	{"Secs", "seconds"},
+	{"Bytes", "bytes"},
+	{"Hz", "frequency(Hz)"},
+}
+
+func familyOfName(name string) string {
+	for _, f := range families {
+		if strings.HasSuffix(name, f.suffix) {
+			// Require the suffix to start a camel-case word (or be the whole
+			// name) so e.g. "Emphasis" does not read as a Hz quantity.
+			head := name[:len(name)-len(f.suffix)]
+			if head != "" && !wordBoundary(head, f.suffix) {
+				continue
+			}
+			return f.family
+		}
+	}
+	return ""
+}
+
+// wordBoundary reports whether suffix starts a fresh camel-case word after
+// head: the suffix begins with an upper-case letter, or head ends with a
+// non-letter (snake_case, digits).
+func wordBoundary(head, suffix string) bool {
+	if suffix[0] >= 'A' && suffix[0] <= 'Z' {
+		return true
+	}
+	last := head[len(head)-1]
+	return !(last >= 'a' && last <= 'z' || last >= 'A' && last <= 'Z')
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					check(pass, n.OpPos, n.Op, n.X, n.Y)
+				}
+			case *ast.AssignStmt:
+				if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					check(pass, n.TokPos, n.Tok, n.Lhs[0], n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, pos token.Pos, op token.Token, x, y ast.Expr) {
+	if !isNumeric(pass, x) || !isNumeric(pass, y) {
+		return
+	}
+	fx, fy := familyOf(pass, x), familyOf(pass, y)
+	if fx == "" || fy == "" || fx == fy {
+		return
+	}
+	pass.Reportf(pos, "unit mismatch: %s (%s) %s %s (%s); convert explicitly",
+		types.ExprString(x), fx, op, types.ExprString(y), fy)
+}
+
+func isNumeric(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric) != 0
+}
+
+// familyOf derives the unit family of an expression from the identifier
+// naming it, looking through parentheses, unary minus, indexing, field
+// selection, and type conversions. Function calls take the callee's family:
+// a conversion helper names its result unit, which is exactly the explicit
+// conversion this pass wants to see.
+func familyOf(pass *analysis.Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return familyOfName(e.Name)
+	case *ast.SelectorExpr:
+		return familyOfName(e.Sel.Name)
+	case *ast.ParenExpr:
+		return familyOf(pass, e.X)
+	case *ast.UnaryExpr:
+		return familyOf(pass, e.X)
+	case *ast.IndexExpr:
+		return familyOf(pass, e.X)
+	case *ast.CallExpr:
+		// Type conversions (float64(x)) preserve the operand's family.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return familyOf(pass, e.Args[0])
+		}
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return familyOfName(fun.Name)
+		case *ast.SelectorExpr:
+			return familyOfName(fun.Sel.Name)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", unitcheck.Analyzer, "a")
+}

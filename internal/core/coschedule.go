@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"pandia/internal/machine"
 	"pandia/internal/topology"
@@ -50,16 +52,31 @@ func PredictCoSchedule(md *machine.Description, placed []PlacedWorkload, opt Opt
 		if err != nil {
 			return nil, err
 		}
+		if invariantChecks.Load() {
+			if e.invErr != nil {
+				return nil, e.invErr
+			}
+			if err := CheckInvariants(j.w, md, pred); err != nil {
+				return nil, fmt.Errorf("core: workload %q: %w", j.w.Name, err)
+			}
+		}
 		out.Predictions = append(out.Predictions, pred)
 	}
 
+	// Iterate the load table in resource order so ties in the
+	// oversubscription ratio resolve to the same resource on every run.
+	ids := make([]topology.ResourceID, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a].Less(ids[b]) })
 	worst, worstID := 0.0, topology.ResourceID{}
-	for id, v := range loads {
+	for _, id := range ids {
 		cap := capacityFor(md, e, id)
 		if cap <= 0 {
 			continue
 		}
-		if r := v / cap; r > worst {
+		if r := loads[id] / cap; r > worst {
 			worst, worstID = r, id
 		}
 	}

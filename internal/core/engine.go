@@ -53,6 +53,10 @@ type engine struct {
 	// burstiness trigger consider every co-located thread).
 	coreOcc []int
 
+	// invErr records the first per-iteration invariant violation when the
+	// runtime checks are enabled (see invariants.go); nil otherwise.
+	invErr error
+
 	// Dense load tables, one slot per resource instance.
 	instr  []float64
 	l1     []float64
@@ -102,6 +106,9 @@ func newEngine(md *machine.Description, placed []PlacedWorkload) (*engine, error
 			occupied[c] = true
 		}
 		n := len(pw.Placement)
+		if n == 0 {
+			return nil, fmt.Errorf("core: empty placement for %q", pw.Workload.Name)
+		}
 		j := &job{
 			w:          pw.Workload,
 			place:      pw.Placement,
@@ -127,7 +134,9 @@ func newEngine(md *machine.Description, placed []PlacedWorkload) (*engine, error
 			j.memSockets = append(j.memSockets, s)
 		}
 		sort.Ints(j.memSockets)
-		j.memShare = 1 / float64(len(j.memSockets))
+		// The placement is non-empty, so at least one socket is in use; the
+		// fallback share of 1 is only a belt for that unreachable case.
+		j.memShare = SafeDiv(1, float64(len(j.memSockets)), 1)
 		for i := range j.f {
 			j.f[i] = j.fInit
 		}
@@ -247,9 +256,16 @@ func (e *engine) iterate(opt Options) (int, bool) {
 			if opt.DisableComm || j.w.InterSocketOverhead <= 0 || n <= 1 {
 				continue
 			}
+			// Slowdowns are ≥ 1 by construction, so each reciprocal is a
+			// plain division in exact arithmetic; SafeDiv keeps a poisoned
+			// slowdown from turning the whole sum into NaN (§5 convergence
+			// tests math.Abs(delta) < tol, which a NaN never satisfies).
 			var invSum float64
 			for i := 0; i < n; i++ {
-				invSum += 1 / j.sRes[i]
+				invSum += SafeDiv(1, j.sRes[i], 1)
+			}
+			if invSum <= 0 {
+				continue
 			}
 			l := j.w.LoadBalance
 			for i := 0; i < n; i++ {
@@ -259,11 +275,11 @@ func (e *engine) iterate(opt Options) (int, bool) {
 						continue
 					}
 					lockstep += j.w.InterSocketOverhead
-					wk := (1 / j.sRes[k]) / invSum
+					wk := SafeDiv(1, j.sRes[k], 1) / invSum
 					independent += float64(n) * wk * j.w.InterSocketOverhead
 				}
 				comm := l*independent + (1-l)*lockstep
-				fMid := j.fInit / j.sRes[i]
+				fMid := SafeDiv(j.fInit, j.sRes[i], j.fInit)
 				j.sTot[i] = math.Min(j.sRes[i]+comm*fMid, j.sCap)
 				j.commPen[i] = j.sTot[i] - j.sRes[i]
 			}
@@ -305,7 +321,7 @@ func (e *engine) iterate(opt Options) (int, bool) {
 		var maxDelta float64
 		for _, j := range e.jobs {
 			for i := range j.f {
-				next := j.fInit * (j.sRes[i] / j.sTot[i])
+				next := j.fInit * SafeDiv(j.sRes[i], j.sTot[i], 1)
 				if iter >= opt.dampenAfter() {
 					next = (next + j.prevF[i]) / 2
 				}
@@ -314,6 +330,9 @@ func (e *engine) iterate(opt Options) (int, bool) {
 				}
 				j.f[i] = next
 			}
+		}
+		if invariantChecks.Load() && e.invErr == nil {
+			e.invErr = e.checkIteration(iter)
 		}
 		if maxDelta < opt.tolerance() {
 			converged = true
@@ -326,9 +345,12 @@ func (e *engine) iterate(opt Options) (int, bool) {
 // prediction assembles one job's Prediction (§5.5).
 func (j *job) prediction(iters int, converged bool, loads map[topology.ResourceID]float64) (*Prediction, error) {
 	n := len(j.place)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty placement for %q", j.w.Name)
+	}
 	var invSum float64
 	for i := 0; i < n; i++ {
-		invSum += 1 / j.sTot[i]
+		invSum += SafeDiv(1, j.sTot[i], 1)
 	}
 	speedup := j.amdahl * invSum / float64(n)
 	if speedup <= 0 || math.IsNaN(speedup) {

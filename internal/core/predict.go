@@ -97,5 +97,17 @@ func Predict(md *machine.Description, w *Workload, place placement.Placement, op
 	}
 	iters, converged := e.iterate(opt)
 	e.accumulate() // refresh loads at the converged utilisations
-	return e.jobs[0].prediction(iters, converged, e.loadsMap())
+	pred, err := e.jobs[0].prediction(iters, converged, e.loadsMap())
+	if err != nil {
+		return nil, err
+	}
+	if invariantChecks.Load() {
+		if e.invErr != nil {
+			return nil, e.invErr
+		}
+		if err := CheckInvariants(w, md, pred); err != nil {
+			return nil, err
+		}
+	}
+	return pred, nil
 }

@@ -48,6 +48,6 @@ func (w *Workload) RescaledFor(src, dst *machine.Description, saturationFrac flo
 	out.Demand.DRAM = scale(w.Demand.DRAM, src.DRAMBW, dst.DRAMBW)
 	// A single-thread run capped on some resource finishes faster once the
 	// cap lifts; the demand rates above already reflect the faster pace.
-	out.T1 = w.T1 / speedup
+	out.T1 = SafeDiv(w.T1, speedup, w.T1)
 	return &out
 }

@@ -68,7 +68,13 @@ func Amdahl(p float64, n int) float64 {
 	if n <= 1 {
 		return 1
 	}
-	return 1 / ((1 - p) + p/float64(n))
+	den := (1 - p) + p/float64(n)
+	if den <= 0 {
+		// Only reachable for p outside [0,1] (callers validate, but this is
+		// also exported API): the ideal speedup is then linear at best.
+		return float64(n)
+	}
+	return 1 / den
 }
 
 // Save writes the workload description to a JSON file.

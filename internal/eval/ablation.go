@@ -74,12 +74,16 @@ func RenderAblations(w io.Writer, machine string, rows []AblationRow) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s %8s %12s %10s %10s %8s\n",
-		"workload", "full", "single-pass", "no-burst", "no-comm", "no-lb")
+	if _, err := fmt.Fprintf(w, "%-12s %8s %12s %10s %10s %8s\n",
+		"workload", "full", "single-pass", "no-burst", "no-comm", "no-lb"); err != nil {
+		return err
+	}
 	var f, sp, nb, nc, nl []float64
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %8.1f %12.1f %10.1f %10.1f %8.1f\n",
-			r.Workload, r.Full, r.SinglePass, r.NoBurst, r.NoComm, r.NoLB)
+		if _, err := fmt.Fprintf(w, "%-12s %8.1f %12.1f %10.1f %10.1f %8.1f\n",
+			r.Workload, r.Full, r.SinglePass, r.NoBurst, r.NoComm, r.NoLB); err != nil {
+			return err
+		}
 		f = append(f, r.Full)
 		sp = append(sp, r.SinglePass)
 		nb = append(nb, r.NoBurst)

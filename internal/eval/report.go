@@ -49,12 +49,16 @@ func RenderSummary(w io.Writer, s *Summary) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %9s %6s\n",
-		"workload", "mean%", "median%", "offMean%", "offMed%", "bestGap%", "peakN")
+	if _, err := fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %9s %6s\n",
+		"workload", "mean%", "median%", "offMean%", "offMed%", "bestGap%", "peakN"); err != nil {
+		return err
+	}
 	for _, row := range s.PerWorkload {
-		fmt.Fprintf(w, "%-12s %8.1f %8.1f %8.1f %8.1f %9.2f %6d\n",
+		if _, err := fmt.Fprintf(w, "%-12s %8.1f %8.1f %8.1f %8.1f %9.2f %6d\n",
 			row.Workload, row.Metrics.MeanErr, row.Metrics.MedianErr,
-			row.Metrics.OffsetMean, row.Metrics.OffsetMedian, row.BestGap, row.PeakThreads)
+			row.Metrics.OffsetMean, row.Metrics.OffsetMedian, row.BestGap, row.PeakThreads); err != nil {
+			return err
+		}
 	}
 	_, err := fmt.Fprintf(w,
 		"overall: median err %.1f%%, median offset err %.1f%%, best-placement gap mean %.2f%% median %.2f%%, %.0f%% of workloads peak below max threads\n",
@@ -68,10 +72,14 @@ func RenderFourSocket(w io.Writer, machine string, rows []FourSocketRow) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s %10s %10s %14s\n", "workload", "2-socket%", "20-core%", "whole-machine%")
+	if _, err := fmt.Fprintf(w, "%-12s %10s %10s %14s\n", "workload", "2-socket%", "20-core%", "whole-machine%"); err != nil {
+		return err
+	}
 	var two, twenty, whole []float64
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %10.1f %10.1f %14.1f\n", r.Workload, r.TwoSocket, r.TwentyCore, r.Whole)
+		if _, err := fmt.Fprintf(w, "%-12s %10.1f %10.1f %14.1f\n", r.Workload, r.TwoSocket, r.TwentyCore, r.Whole); err != nil {
+			return err
+		}
 		two = append(two, r.TwoSocket)
 		twenty = append(twenty, r.TwentyCore)
 		whole = append(whole, r.Whole)
@@ -101,11 +109,15 @@ func RenderSweep(w io.Writer, s *SweepSummary) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s %10s %12s %10s %10s %10s\n",
-		"workload", "sweep(s)", "profile(s)", "ratio", "foundBest", "gap%")
+	if _, err := fmt.Fprintf(w, "%-12s %10s %12s %10s %10s %10s\n",
+		"workload", "sweep(s)", "profile(s)", "ratio", "foundBest", "gap%"); err != nil {
+		return err
+	}
 	for _, r := range s.Rows {
-		fmt.Fprintf(w, "%-12s %10.0f %12.0f %10.1f %10v %10.2f\n",
-			r.Workload, r.SweepCost, r.ProfileCost, r.CostRatio, r.FoundBest, r.SweepBestGap)
+		if _, err := fmt.Fprintf(w, "%-12s %10.0f %12.0f %10.1f %10v %10.2f\n",
+			r.Workload, r.SweepCost, r.ProfileCost, r.CostRatio, r.FoundBest, r.SweepBestGap); err != nil {
+			return err
+		}
 	}
 	_, err := fmt.Fprintf(w,
 		"mean cost ratio %.1fx; sweep found the exact best placement for %d of %d workloads (%d within 2%%)\n",

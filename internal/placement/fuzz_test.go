@@ -12,6 +12,13 @@ func FuzzParseShape(f *testing.F) {
 	for _, seed := range []string{
 		"4x1", "2x2+3x1", "2x2+3x1/4x1", "1x2/1x2", "", "x1", "9999999x1",
 		"1x1/1x1/1x1/1x1", "0x1", "1x2+0x1", " 3x1 / 2x2 ", "a/b", "1x3",
+		// Malformed inputs that have bitten hand-rolled parsers: missing
+		// halves, dangling separators, signs, floats, huge and overflowing
+		// counts, NUL and multibyte runes, nested separators.
+		"-1x1", "1x-1", "1x", "x", "+", "/", "1x1+", "1x1/", "+1x1", "/1x1",
+		"1x1++1x1", "1x1//1x1", "1e9x1", "1.5x2", "0x0", "1 x 1", "1X1",
+		"18446744073709551616x1", "1x18446744073709551616", "\x001x1",
+		"1x1\x00", "×", "2×2", "¹x¹", "1x1+2x2/3x1", " ", "\t", "1x1 2x2",
 	} {
 		f.Add(seed)
 	}

@@ -152,7 +152,7 @@ func (t *resTable) slowdown(idx int, d, c, q float64, demandsOf func(idx int) []
 		t.theta[idx] = th
 	}
 	alloc := math.Min(d, th)
-	slow := d / alloc
+	slow := safeDiv(d, alloc, 1)
 	if slow < 1 {
 		slow = 1
 	}
@@ -171,7 +171,9 @@ func waterfill(demands []float64, c float64) float64 {
 			k--
 			continue
 		}
-		return remaining / float64(k)
+		// k > 0 here: k == 0 would make d*float64(k) == 0 <= remaining and
+		// take the continue branch above. The fallback is never used.
+		return safeDiv(remaining, float64(k), c)
 	}
 	// All demands fit; unreachable when oversubscribed, but return a level
 	// that leaves everyone unthrottled for safety.

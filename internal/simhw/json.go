@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"pandia/internal/topology"
 )
 
 // jsonTruth is the serialised form of a machine truth, with explicit field
@@ -76,10 +78,12 @@ func LoadTruth(path string) (MachineTruth, error) {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return mt, fmt.Errorf("simhw: decoding %s: %w", path, err)
 	}
-	mt.Topo.Name = j.Topo.Name
-	mt.Topo.Sockets = j.Topo.Sockets
-	mt.Topo.CoresPerSocket = j.Topo.CoresPerSocket
-	mt.Topo.ThreadsPerCore = j.Topo.ThreadsPerCore
+	mt.Topo = topology.Machine{
+		Name:           j.Topo.Name,
+		Sockets:        j.Topo.Sockets,
+		CoresPerSocket: j.Topo.CoresPerSocket,
+		ThreadsPerCore: j.Topo.ThreadsPerCore,
+	}
 	mt.NominalGHz = j.NominalGHz
 	mt.TurboMaxGHz = j.TurboMaxGHz
 	mt.TurboAllGHz = j.TurboAllGHz

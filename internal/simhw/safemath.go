@@ -1,0 +1,20 @@
+package simhw
+
+import "math"
+
+// safeDiv mirrors core.SafeDiv: num/den, or fallback when the quotient is
+// not finite. simhw cannot import core — core imports machine, and machine
+// imports simhw for machine-description generation — so the testbed keeps
+// its own copy. The fixed-point loop here has the same NaN hazard as the
+// predictor's: math.Abs(NaN) is never below the tolerance, so one poisoned
+// slowdown burns the whole iteration budget.
+func safeDiv(num, den, fallback float64) float64 {
+	if den == 0 {
+		return fallback
+	}
+	q := num / den
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return fallback
+	}
+	return q
+}

@@ -143,6 +143,9 @@ func (tb *Testbed) Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	nAct := wt.activeCount(n)
+	if nAct <= 0 {
+		return RunResult{}, fmt.Errorf("simhw: workload %q has no active threads", wt.Name)
+	}
 	amdahl := amdahlSpeedup(wt.ParallelFrac, nAct)
 	fInitWorkload := amdahl / float64(nAct)
 
@@ -272,10 +275,13 @@ func (tb *Testbed) buildAgents(cfg RunConfig, freqScale []float64, fInitWorkload
 // spillMultiplier returns the factor by which a socket's cache pressure
 // inflates DRAM demand for threads running there.
 func (mt *MachineTruth) spillMultiplier(pressureMB float64) float64 {
-	if mt.L3SizeMB <= 0 || pressureMB <= mt.L3SizeMB {
+	if mt.L3SizeMB <= 0 || pressureMB <= mt.L3SizeMB || pressureMB <= 0 {
 		return 1
 	}
 	over := (pressureMB - mt.L3SizeMB) / pressureMB
+	if over <= 0 {
+		return 1
+	}
 	if mt.AdaptiveCache {
 		return 1 + spillAdaptiveGain*over
 	}
@@ -334,7 +340,7 @@ func forEachDemand(t *resTable, a *agent, memSockets []int, memShare float64, fn
 func (tb *Testbed) fixedPoint(agents []agent, coreOcc []int, freqScale []float64, memSockets []int, wt *WorkloadTruth, nAct int) {
 	mt := &tb.truth
 	q := mt.QueueFactor
-	memShare := 1 / float64(len(memSockets))
+	memShare := safeDiv(1, float64(len(memSockets)), 1)
 	table := newResTable(mt.Topo)
 
 	// demandsOf collects every user's offered demand on one resource, for
@@ -399,27 +405,31 @@ func (tb *Testbed) fixedPoint(agents []agent, coreOcc []int, freqScale []float64
 		// Communication penalty across sockets for the measured workload,
 		// interpolated between lock-step and work-weighted extremes.
 		if wt.CommCost > 0 && nAct > 1 {
+			// Slowdowns are >= 1 by construction; safeDiv keeps a poisoned
+			// value from spreading NaN through every thread's penalty.
 			var invSum float64
 			for i := range agents {
 				if agents[i].workload && agents[i].active {
-					invSum += 1 / agents[i].sRes
+					invSum += safeDiv(1, agents[i].sRes, 1)
 				}
 			}
-			for i := range agents {
-				a := &agents[i]
-				if !a.workload || !a.active {
-					continue
-				}
-				var pen float64
-				for j := range agents {
-					b := &agents[j]
-					if i == j || !b.workload || !b.active || b.ctx.Socket == a.ctx.Socket {
+			if invSum > 0 {
+				for i := range agents {
+					a := &agents[i]
+					if !a.workload || !a.active {
 						continue
 					}
-					w := (1 / b.sRes) / invSum
-					pen += wt.CommCost * ((1 - wt.LoadBalance) + wt.LoadBalance*float64(nAct)*w)
+					var pen float64
+					for j := range agents {
+						b := &agents[j]
+						if i == j || !b.workload || !b.active || b.ctx.Socket == a.ctx.Socket {
+							continue
+						}
+						w := safeDiv(1, b.sRes, 1) / invSum
+						pen += wt.CommCost * ((1 - wt.LoadBalance) + wt.LoadBalance*float64(nAct)*w)
+					}
+					a.sTot += pen * safeDiv(a.fInit, a.sRes, a.fInit)
 				}
-				a.sTot += pen * (a.fInit / a.sRes)
 			}
 		}
 
@@ -455,7 +465,7 @@ func (tb *Testbed) fixedPoint(agents []agent, coreOcc []int, freqScale []float64
 			// slowdown that contention accounts for, exactly as in the
 			// paper's iteration (§5.4). Geometric damping keeps the map
 			// contractive when penalties are stiff.
-			target := a.fInit * (a.sRes / a.sTot)
+			target := a.fInit * safeDiv(a.sRes, a.sTot, 1)
 			next := math.Sqrt(a.f * target)
 			if d := math.Abs(next - a.f); d > maxDelta {
 				maxDelta = d
@@ -474,6 +484,9 @@ func (tb *Testbed) assemble(cfg RunConfig, agents []agent, memSockets []int, amd
 	mt := &tb.truth
 	wt := &cfg.Workload
 	n := len(cfg.Placement)
+	if nAct <= 0 || len(memSockets) == 0 {
+		return RunResult{}, fmt.Errorf("simhw: internal: workload %q with no active threads or memory sockets", wt.Name)
+	}
 
 	growth := 1 + wt.WorkGrowth*float64(nAct-1)
 	work := wt.SeqTime * growth
@@ -491,13 +504,16 @@ func (tb *Testbed) assemble(cfg RunConfig, agents []agent, memSockets []int, amd
 		} else if a.demand.DRAM > 0 && wt.Demand.DRAM > 0 {
 			spd = a.demand.DRAM / wt.Demand.DRAM
 		}
-		rates[i] = spd / a.sTot
+		rates[i] = safeDiv(spd, a.sTot, 0)
 		rateSum += rates[i]
 	}
 	if rateSum <= 0 {
 		return RunResult{}, fmt.Errorf("simhw: workload %q made no progress", wt.Name)
 	}
 	speedup := amdahl * rateSum / float64(nAct)
+	if speedup <= 0 {
+		return RunResult{}, fmt.Errorf("simhw: degenerate speedup for workload %q", wt.Name)
+	}
 	t := work / speedup
 
 	// Deterministic log-normal measurement noise.
@@ -572,5 +588,10 @@ func amdahlSpeedup(p float64, n int) float64 {
 	if n <= 1 {
 		return 1
 	}
-	return 1 / ((1 - p) + p/float64(n))
+	den := (1 - p) + p/float64(n)
+	if den <= 0 {
+		// Only reachable for p outside [0,1]; linear speedup at best.
+		return float64(n)
+	}
+	return 1 / den
 }

@@ -48,14 +48,19 @@ func (mt *MachineTruth) Frequency(activeCores int, mode PowerMode) float64 {
 	if activeCores >= cores {
 		return mt.TurboAllGHz
 	}
-	frac := float64(activeCores-1) / float64(cores-1)
+	span := float64(cores - 1)
+	if span <= 0 {
+		// Unreachable: 1 < activeCores < cores requires cores >= 3.
+		return mt.TurboAllGHz
+	}
+	frac := float64(activeCores-1) / span
 	return mt.TurboMaxGHz - (mt.TurboMaxGHz-mt.TurboAllGHz)*frac
 }
 
 // FreqScale returns the frequency relative to the reference operating point
 // (all-core turbo), at which all capacities and demands are quoted.
 func (mt *MachineTruth) FreqScale(activeCores int, mode PowerMode) float64 {
-	return mt.Frequency(activeCores, mode) / mt.TurboAllGHz
+	return safeDiv(mt.Frequency(activeCores, mode), mt.TurboAllGHz, 1)
 }
 
 // speedScale converts a frequency scale into a progress-rate scale for a

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMachineJSON decodes an arbitrary JSON machine description and checks
+// that everything Validate accepts upholds the package's structural
+// invariants: the context index is a bijection, socket pairs index densely,
+// the resource enumeration is complete, and the value survives a JSON round
+// trip.
+func FuzzMachineJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"name":"x32","sockets":2,"coresPerSocket":8,"threadsPerCore":2}`,
+		`{"sockets":1,"coresPerSocket":1,"threadsPerCore":1}`,
+		`{"sockets":4,"coresPerSocket":18,"threadsPerCore":2}`,
+		`{"sockets":0,"coresPerSocket":8,"threadsPerCore":2}`,
+		`{"sockets":-1,"coresPerSocket":-1,"threadsPerCore":-1}`,
+		`{"sockets":2,"coresPerSocket":8,"threadsPerCore":9}`,
+		`{"sockets":1e9,"coresPerSocket":1e9,"threadsPerCore":2}`,
+		`{"name":"z","sockets":2,"coresPerSocket":2,"threadsPerCore":1}`,
+		`{}`, `[]`, `null`, `"x"`, `{"sockets":"2"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Machine
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		if m.Validate() != nil {
+			return
+		}
+		// Cap the fuzzed machine so the exhaustive walks below stay cheap;
+		// the invariants are per-index and do not depend on absolute size.
+		if m.TotalContexts() > 1<<12 || m.Sockets > 64 {
+			return
+		}
+		if m.TotalCores() != m.Sockets*m.CoresPerSocket {
+			t.Fatalf("TotalCores inconsistent for %+v", m)
+		}
+
+		// ContextIndex must enumerate [0, TotalContexts) and invert exactly.
+		seen := make([]bool, m.TotalContexts())
+		for s := 0; s < m.Sockets; s++ {
+			for c := 0; c < m.CoresPerSocket; c++ {
+				for slot := 0; slot < m.ThreadsPerCore; slot++ {
+					ctx := Context{Socket: s, Core: c, Slot: slot}
+					if !m.ValidContext(ctx) {
+						t.Fatalf("in-range context %v invalid on %+v", ctx, m)
+					}
+					idx := m.ContextIndex(ctx)
+					if idx < 0 || idx >= len(seen) || seen[idx] {
+						t.Fatalf("context index %d for %v out of range or duplicated on %+v", idx, ctx, m)
+					}
+					seen[idx] = true
+					if back := m.ContextAt(idx); back != ctx {
+						t.Fatalf("ContextAt(ContextIndex(%v)) = %v on %+v", ctx, back, m)
+					}
+					if g := m.GlobalCore(ctx); g < 0 || g >= m.TotalCores() {
+						t.Fatalf("global core %d for %v out of range on %+v", g, ctx, m)
+					}
+				}
+			}
+		}
+
+		// Socket pairs must enumerate every unordered pair exactly once and
+		// PairIndex must agree with the enumeration in both argument orders.
+		pairs := m.SocketPairs()
+		if len(pairs) != m.NumSocketPairs() {
+			t.Fatalf("%d socket pairs enumerated, NumSocketPairs says %d", len(pairs), m.NumSocketPairs())
+		}
+		for i, p := range pairs {
+			if p.Lo < 0 || p.Hi >= m.Sockets || p.Lo >= p.Hi {
+				t.Fatalf("malformed socket pair %v on %+v", p, m)
+			}
+			if m.PairIndex(p.Lo, p.Hi) != i || m.PairIndex(p.Hi, p.Lo) != i {
+				t.Fatalf("PairIndex disagrees with enumeration at %v on %+v", p, m)
+			}
+		}
+
+		// The resource enumeration covers each kind with the right
+		// multiplicity.
+		counts := make([]int, NumResourceKinds)
+		for _, r := range m.Resources() {
+			counts[r.Kind]++
+		}
+		perCore, perSock := m.TotalCores(), m.Sockets
+		want := []int{
+			int(ResInstr):        perCore,
+			int(ResL1):           perCore,
+			int(ResL2):           perCore,
+			int(ResL3Link):       perCore,
+			int(ResL3Agg):        perSock,
+			int(ResDRAM):         perSock,
+			int(ResInterconnect): m.NumSocketPairs(),
+		}
+		for k := range counts {
+			if counts[k] != want[k] {
+				t.Fatalf("%d resources of kind %v, want %d on %+v", counts[k], ResourceKind(k), want[k], m)
+			}
+		}
+
+		// JSON round trip preserves the machine.
+		data2, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal of valid machine %+v: %v", m, err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data2, &back); err != nil || back != m {
+			t.Fatalf("round trip changed %+v to %+v (err %v)", m, back, err)
+		}
+	})
+}

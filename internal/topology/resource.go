@@ -97,6 +97,23 @@ func (r ResourceID) String() string {
 	return fmt.Sprintf("%s[%d]", r.Kind, r.Index)
 }
 
+// Less orders resource identifiers by (Kind, Index, Pair), giving map
+// iterations over per-resource tables a deterministic order — the predictor
+// core forbids raw map ranges (see internal/analysis/detlint) because float
+// accumulation is order-sensitive and golden tests diff outputs exactly.
+func (r ResourceID) Less(o ResourceID) bool {
+	if r.Kind != o.Kind {
+		return r.Kind < o.Kind
+	}
+	if r.Index != o.Index {
+		return r.Index < o.Index
+	}
+	if r.Pair.Lo != o.Pair.Lo {
+		return r.Pair.Lo < o.Pair.Lo
+	}
+	return r.Pair.Hi < o.Pair.Hi
+}
+
 // CoreResource builds the per-core resource of kind k for the core hosting c.
 func (m Machine) CoreResource(k ResourceKind, c Context) ResourceID {
 	if !k.PerCore() {
