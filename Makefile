@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check test vet pandia-vet fuzz build
+.PHONY: check test vet pandia-vet fuzz fuzz-smoke build
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/pandia-vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke is the gate-sized fuzzing pass: 5 seconds per target, enough
+# to catch parser/expander regressions on the corpus plus easy mutations.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseShape -fuzztime 5s -run '^$$' ./internal/placement/
+	$(GO) test -fuzz FuzzShapeExpand -fuzztime 5s -run '^$$' ./internal/placement/
+	$(GO) test -fuzz FuzzMachineJSON -fuzztime 5s -run '^$$' ./internal/topology/
 
 fuzz:
 	$(GO) test -fuzz FuzzParseShape -fuzztime 30s ./internal/placement/

@@ -16,6 +16,7 @@ import (
 	"pandia/internal/bench"
 	"pandia/internal/core"
 	"pandia/internal/eval"
+	"pandia/internal/faults"
 	"pandia/internal/placement"
 	"pandia/internal/simhw"
 	"pandia/internal/workload"
@@ -260,6 +261,25 @@ func BenchmarkTableSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(s.MeanCostRatio, "sweep-cost-ratio-x")
+}
+
+// BenchmarkNoiseResilience runs the robustness study: fault-injected
+// profiling at a 10% base rate, hardened pipeline versus naive single-shot.
+// The headline metrics are the two degradation factors over the fault-free
+// baseline error.
+func BenchmarkNoiseResilience(b *testing.B) {
+	h := harnessFor(b, "x3-2")
+	entries := entriesNamed(b, "MD", "CG")
+	var n *eval.NoiseResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		n, err = eval.NoiseResilience(h, entries, []float64{0.1}, faults.RobustDefaults(), 2, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(n.Points[0].NaiveMeanErr/n.BaselineErr, "naive-degradation-x")
+	b.ReportMetric(n.Points[0].RobustMeanErr/n.BaselineErr, "robust-degradation-x")
 }
 
 // ablationMedian computes the median error of one workload's curve with the

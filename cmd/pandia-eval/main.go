@@ -13,6 +13,7 @@
 //	turbo       Fig. 14: Turbo Boost instruction-rate curves
 //	best        §6.1 table: best-predicted vs best-measured placements
 //	sweep       §6.3 table: packed/spread sweep baseline comparison
+//	noise       robustness: fault-injected profiling, naive vs hardened
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"pandia/internal/bench"
 	"pandia/internal/eval"
+	"pandia/internal/faults"
 )
 
 var (
@@ -109,6 +111,7 @@ func run() error {
 		{"best", best},
 		{"sweep", sweep},
 		{"ablation", ablation},
+		{"noise", noise},
 	} {
 		if !all && !want[s.name] {
 			continue
@@ -318,6 +321,35 @@ func best(hc harnessCache, entries []bench.Entry) error {
 			key, s.MeanBestGap, s.MedianBestGap, 100*s.FracPeakBelowMax)
 	}
 	return nil
+}
+
+// noise runs the robustness study on the X3-2: profiling through the fault
+// injector at increasing rates, naive single-shot versus the hardened
+// median-of-k + degraded-prediction pipeline.
+func noise(hc harnessCache, entries []bench.Entry) error {
+	h, err := hc.get("x3-2")
+	if err != nil {
+		return err
+	}
+	n, err := eval.NoiseResilience(h, entries, eval.DefaultNoiseRates(), faults.RobustDefaults(), 3, *seed)
+	if err != nil {
+		return err
+	}
+	report.Noise = n
+	if err := eval.RenderNoise(os.Stdout, n); err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, "noise-resilience.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eval.WriteNoiseCSV(f, n); err != nil {
+		return err
+	}
+	fmt.Printf("-> %s\n", path)
+	return f.Close()
 }
 
 // sweep regenerates the §6.3 sweep-baseline table over three machines.

@@ -27,7 +27,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbid nondeterministic constructs (map range, time.Now, global math/rand) " +
 		"in the prediction core",
 	Run:      run,
-	Restrict: analysis.RestrictTo("internal/core", "internal/simhw", "internal/eval"),
+	Restrict: analysis.RestrictTo("internal/core", "internal/simhw", "internal/eval", "internal/faults"),
 }
 
 // seededConstructors are the math/rand functions that build explicitly

@@ -23,7 +23,7 @@ var Analyzer = &analysis.Analyzer{
 	Name:     "errlint",
 	Doc:      "flag statement-level calls whose error result is silently dropped",
 	Run:      run,
-	Restrict: analysis.RestrictTo("internal/eval"),
+	Restrict: analysis.RestrictTo("internal/eval", "internal/faults"),
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pandia/internal/counters"
+	"pandia/internal/placement"
+)
+
+func TestWorkloadValidateRejectsNonFinite(t *testing.T) {
+	cases := map[string]func(*Workload){
+		"NaN t1":      func(w *Workload) { w.T1 = math.NaN() },
+		"Inf t1":      func(w *Workload) { w.T1 = math.Inf(1) },
+		"NaN p":       func(w *Workload) { w.ParallelFrac = math.NaN() },
+		"NaN l":       func(w *Workload) { w.LoadBalance = math.NaN() },
+		"NaN b":       func(w *Workload) { w.Burstiness = math.NaN() },
+		"NaN os":      func(w *Workload) { w.InterSocketOverhead = math.NaN() },
+		"Inf demand":  func(w *Workload) { w.Demand.DRAM = math.Inf(1) },
+		"NaN demand":  func(w *Workload) { w.Demand.Instr = math.NaN() },
+		"-Inf demand": func(w *Workload) { w.Demand.L2 = math.Inf(-1) },
+	}
+	for name, mutate := range cases {
+		w := exampleWorkload()
+		mutate(w)
+		if w.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWorkloadRepair(t *testing.T) {
+	w := exampleWorkload()
+	if reasons := w.Repair(); len(reasons) != 0 {
+		t.Fatalf("valid workload repaired: %v", reasons)
+	}
+
+	w = exampleWorkload()
+	w.ParallelFrac = math.NaN()
+	w.LoadBalance = 1.7
+	w.Demand.DRAM = math.Inf(1)
+	reasons := w.Repair()
+	if len(reasons) != 3 {
+		t.Fatalf("got %d reasons, want 3: %v", len(reasons), reasons)
+	}
+	if w.ParallelFrac != 0 || w.LoadBalance != 1 || w.Demand.DRAM != 0 {
+		t.Errorf("repair left %+v", w)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("repaired workload still invalid: %v", err)
+	}
+
+	// T1 is unrepairable.
+	w = exampleWorkload()
+	w.T1 = math.NaN()
+	w.Repair()
+	if w.Validate() == nil {
+		t.Error("NaN t1 accepted after repair")
+	}
+}
+
+func TestPredictDegradedMissingCapacity(t *testing.T) {
+	w := exampleWorkload()
+	place := workedExamplePlacement()
+	good, err := Predict(toyMachine(), w, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	broken := toyMachine()
+	broken.DRAMBW = 0 // the DRAM stress runs never produced a usable sample
+
+	if _, err := Predict(broken, w, place, Options{}); err == nil {
+		t.Fatal("strict mode accepted a description with no DRAM bandwidth")
+	}
+
+	pred, err := Predict(broken, w, place, Options{AllowDegraded: true})
+	if err != nil {
+		t.Fatalf("degraded mode failed: %v", err)
+	}
+	if !pred.Degraded || len(pred.DegradedReasons) == 0 {
+		t.Fatalf("prediction not marked degraded: %+v", pred)
+	}
+	if !strings.Contains(strings.Join(pred.DegradedReasons, "\n"), "DRAM") {
+		t.Errorf("reasons do not name the missing resource: %v", pred.DegradedReasons)
+	}
+	// The pessimistic cap serialises DRAM, so the degraded prediction must
+	// be slower than the true-capacity one — overestimate, never miss.
+	if pred.Time < good.Time {
+		t.Errorf("degraded time %g faster than true-capacity time %g", pred.Time, good.Time)
+	}
+	// The caller's description must not be mutated by the repair.
+	if broken.DRAMBW != 0 {
+		t.Error("AllowDegraded mutated the caller's description")
+	}
+}
+
+func TestPredictDegradedRepairsWorkload(t *testing.T) {
+	w := exampleWorkload()
+	w.ParallelFrac = math.NaN()
+	place := workedExamplePlacement()
+
+	if _, err := Predict(toyMachine(), w, place, Options{}); err == nil {
+		t.Fatal("strict mode accepted a NaN parallel fraction")
+	}
+	pred, err := Predict(toyMachine(), w, place, Options{AllowDegraded: true})
+	if err != nil {
+		t.Fatalf("degraded mode failed: %v", err)
+	}
+	if !pred.Degraded {
+		t.Fatal("prediction not marked degraded")
+	}
+	// Serial assumption: no speedup promised.
+	if pred.Speedup > 1+1e-9 {
+		t.Errorf("degraded serial prediction promises speedup %g", pred.Speedup)
+	}
+	if !math.IsNaN(w.ParallelFrac) {
+		t.Error("AllowDegraded mutated the caller's workload")
+	}
+}
+
+func TestPredictDegradedNonConvergence(t *testing.T) {
+	w := exampleWorkload()
+	place := workedExamplePlacement()
+	// Two iterations are nowhere near the fixed point for the contended
+	// worked example, so strict mode reports Converged=false ...
+	strict, err := Predict(toyMachine(), w, place, Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Converged {
+		t.Skip("worked example converged in 2 iterations; cannot exercise the fallback")
+	}
+	// ... and degraded mode falls back to the Amdahl-only model.
+	pred, err := Predict(toyMachine(), w, place, Options{MaxIterations: 2, AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Degraded {
+		t.Fatal("non-converged prediction not marked degraded")
+	}
+	if math.Abs(pred.Speedup-pred.AmdahlSpeedup) > 1e-12 {
+		t.Errorf("fallback speedup %g differs from Amdahl %g", pred.Speedup, pred.AmdahlSpeedup)
+	}
+	for i, s := range pred.Slowdowns {
+		if s != 1 {
+			t.Errorf("fallback slowdown[%d] = %g, want 1", i, s)
+		}
+	}
+	if len(pred.DegradedReasons) != 1 || !strings.Contains(pred.DegradedReasons[0], "did not converge") {
+		t.Errorf("reasons %v", pred.DegradedReasons)
+	}
+	// The fallback passes the structural invariant checks.
+	prev := SetInvariantChecks(true)
+	defer SetInvariantChecks(prev)
+	if err := CheckInvariants(w, toyMachine(), pred); err != nil {
+		t.Errorf("fallback violates invariants: %v", err)
+	}
+}
+
+// TestPredictDegradedGolden pins the degraded-mode surface for one fixed
+// corruption pattern: the exact reason strings and the exact fallback
+// speedup. A change to either is a behaviour change that must be reviewed,
+// not an accident.
+func TestPredictDegradedGolden(t *testing.T) {
+	w := exampleWorkload()
+	w.Name = "golden"
+	w.ParallelFrac = math.NaN() // corrupted run-2 sample
+	md := toyMachine()
+	md.DRAMBW = math.NaN() // corrupted DRAM stress sample
+
+	place := placement.Placement{
+		{Socket: 0, Core: 0, Slot: 0},
+		{Socket: 0, Core: 1, Slot: 0},
+	}
+	pred, err := Predict(md, w, place, Options{AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReasons := []string{
+		`workload "golden": parallel fraction NaN unusable; assuming serial (0)`,
+		`machine toy (Fig. 3): DRAM bandwidth unusable; pessimistic cap at per-thread demand 40`,
+	}
+	if !reflect.DeepEqual(pred.DegradedReasons, wantReasons) {
+		t.Errorf("degraded reasons changed:\n got %q\nwant %q", pred.DegradedReasons, wantReasons)
+	}
+	// Serial workload (repaired p=0): the fallback-free degraded prediction
+	// is pinned at no speedup, time T1.
+	approx(t, "golden degraded speedup", pred.Speedup, 1, 1e-9)
+	approx(t, "golden degraded time", pred.Time, w.T1, 1e-6)
+
+	// Same corruption on the contended worked-example placement (core
+	// sharing keeps the fixed point moving), with a budget too small to
+	// converge: the Amdahl-only fallback speedup is pinned too (p=0 after
+	// repair, so exactly 1).
+	pred2, err := Predict(md, w, workedExamplePlacement(), Options{MaxIterations: 1, AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred2.Converged {
+		t.Fatal("one iteration unexpectedly converged")
+	}
+	approx(t, "golden fallback speedup", pred2.Speedup, 1, 1e-12)
+	last := pred2.DegradedReasons[len(pred2.DegradedReasons)-1]
+	if want := `prediction for "golden" did not converge after 1 iterations; Amdahl-only fallback`; last != want {
+		t.Errorf("fallback reason changed:\n got %q\nwant %q", last, want)
+	}
+}
+
+func TestDescriptionRepairZeroDemand(t *testing.T) {
+	md := toyMachine()
+	md.DRAMBW = 0
+	reasons := md.Repair(counters.Rates{Instr: 7}) // workload never touches DRAM
+	if len(reasons) == 0 {
+		t.Fatal("no repair reported")
+	}
+	if md.DRAMBW <= 0 {
+		t.Errorf("DRAM capacity still unusable: %g", md.DRAMBW)
+	}
+	if err := md.Validate(); err != nil {
+		t.Errorf("repaired description invalid: %v", err)
+	}
+}

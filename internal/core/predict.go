@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"pandia/internal/machine"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
@@ -19,6 +21,13 @@ type Options struct {
 	// Tolerance is the convergence threshold on the utilisation factors;
 	// 0 means the default (1e-9).
 	Tolerance float64
+
+	// AllowDegraded lets Predict return a best-effort result instead of an
+	// error when the inputs fail validation but are repairable (missing or
+	// corrupted capacities and parameters are substituted pessimistically),
+	// and fall back to the Amdahl-only model when the iteration does not
+	// converge. Degraded results carry Degraded=true plus the reasons.
+	AllowDegraded bool
 
 	// SinglePass stops after the first iteration (ablation).
 	SinglePass bool
@@ -86,28 +95,92 @@ type Prediction struct {
 	// whether the utilisations stabilised within tolerance.
 	Iterations int
 	Converged  bool
+	// Degraded marks a best-effort prediction produced under
+	// Options.AllowDegraded: inputs were repaired before prediction, or the
+	// iteration fell back to the Amdahl-only model. DegradedReasons lists
+	// every substitution that was made.
+	Degraded        bool
+	DegradedReasons []string
 }
 
 // Predict runs the iterative prediction of §5 for the workload placed as
 // given on the described machine.
+//
+// With Options.AllowDegraded, repairable input defects are fixed on private
+// copies before prediction, and non-convergence falls back to the
+// Amdahl-only model; either path marks the result Degraded with the list of
+// substitutions. Unrepairable inputs (bad T1, bad topology, bad placement)
+// still return an error.
 func Predict(md *machine.Description, w *Workload, place placement.Placement, opt Options) (*Prediction, error) {
+	var reasons []string
+	if opt.AllowDegraded {
+		if err := w.Validate(); err != nil {
+			wr := *w
+			reasons = append(reasons, wr.Repair()...)
+			w = &wr
+		}
+		if err := md.Validate(); err != nil {
+			mdr := *md
+			reasons = append(reasons, mdr.Repair(w.Demand)...)
+			md = &mdr
+		}
+	}
 	e, err := newEngine(md, []PlacedWorkload{{Workload: w, Placement: place}})
 	if err != nil {
 		return nil, err
 	}
 	iters, converged := e.iterate(opt)
-	e.accumulate() // refresh loads at the converged utilisations
-	pred, err := e.jobs[0].prediction(iters, converged, e.loadsMap())
-	if err != nil {
-		return nil, err
-	}
-	if invariantChecks.Load() {
-		if e.invErr != nil {
+	var pred *Prediction
+	if !converged && opt.AllowDegraded {
+		// The fixed point did not stabilise: fall back to the contention-free
+		// Amdahl model rather than report a mid-oscillation state.
+		reasons = append(reasons, fmt.Sprintf(
+			"prediction for %q did not converge after %d iterations; Amdahl-only fallback", w.Name, iters))
+		pred = amdahlOnly(w, len(place), iters)
+	} else {
+		e.accumulate() // refresh loads at the converged utilisations
+		pred, err = e.jobs[0].prediction(iters, converged, e.loadsMap())
+		if err != nil {
+			return nil, err
+		}
+		if invariantChecks.Load() && e.invErr != nil {
 			return nil, e.invErr
 		}
+	}
+	if len(reasons) > 0 {
+		pred.Degraded = true
+		pred.DegradedReasons = reasons
+	}
+	if invariantChecks.Load() {
 		if err := CheckInvariants(w, md, pred); err != nil {
 			return nil, err
 		}
 	}
 	return pred, nil
+}
+
+// amdahlOnly builds the degraded fallback prediction: ideal Amdahl scaling
+// with every contention, communication, and load-balancing term dropped.
+func amdahlOnly(w *Workload, n, iters int) *Prediction {
+	sp := w.AmdahlSpeedup(n)
+	ones := make([]float64, n)
+	utils := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+		utils[i] = SafeDiv(sp, float64(n), 1)
+	}
+	return &Prediction{
+		Time:                 SafeDiv(w.T1, sp, w.T1),
+		Speedup:              sp,
+		AmdahlSpeedup:        sp,
+		Slowdowns:            ones,
+		ResourceSlowdowns:    append([]float64(nil), ones...),
+		CommPenalties:        make([]float64, n),
+		LoadBalancePenalties: make([]float64, n),
+		Utilizations:         utils,
+		Bottlenecks:          make([]topology.ResourceKind, n),
+		Loads:                map[topology.ResourceID]float64{},
+		Iterations:           iters,
+		Converged:            false,
+	}
 }

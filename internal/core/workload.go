@@ -10,6 +10,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"pandia/internal/counters"
@@ -39,8 +40,30 @@ type Workload struct {
 	Burstiness float64 `json:"burstiness"`
 }
 
-// Validate reports whether the workload description is usable.
+// Validate reports whether the workload description is usable. NaN and ±Inf
+// are rejected explicitly: a NaN parameter passes every range comparison
+// below, so corrupted profiles would otherwise slip straight into the
+// predictor and poison its fixed point.
 func (w *Workload) Validate() error {
+	for _, f := range []struct {
+		name string
+		val  float64
+	}{
+		{"T1", w.T1},
+		{"parallel fraction", w.ParallelFrac},
+		{"inter-socket overhead", w.InterSocketOverhead},
+		{"load balance", w.LoadBalance},
+		{"burstiness", w.Burstiness},
+		{"instr demand", w.Demand.Instr},
+		{"l1 demand", w.Demand.L1},
+		{"l2 demand", w.Demand.L2},
+		{"l3 demand", w.Demand.L3},
+		{"dram demand", w.Demand.DRAM},
+	} {
+		if math.IsNaN(f.val) || math.IsInf(f.val, 0) {
+			return fmt.Errorf("core: workload %q: non-finite %s %g", w.Name, f.name, f.val)
+		}
+	}
 	switch {
 	case w.T1 <= 0:
 		return fmt.Errorf("core: workload %q: non-positive T1", w.Name)
@@ -56,6 +79,58 @@ func (w *Workload) Validate() error {
 		return fmt.Errorf("core: workload %q: negative demand", w.Name)
 	}
 	return nil
+}
+
+// Repair fixes the defects degraded-mode prediction can tolerate, in place,
+// substituting the pessimistic end of each parameter's range, and returns
+// one reason string per change. A corrupted parallel fraction becomes 0
+// (serial — no speedup is promised that the workload might not deliver), a
+// corrupted load balance becomes 0 (lock-step, the slowest redistribution),
+// and corrupted overhead, burstiness, or demand components become 0 with the
+// affected term dropped from the model. The defect Repair cannot fix — a
+// non-positive or non-finite T1, the scale of everything else — is left for
+// Validate to reject.
+func (w *Workload) Repair() []string {
+	var reasons []string
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	if bad(w.ParallelFrac) || w.ParallelFrac < 0 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: parallel fraction %g unusable; assuming serial (0)", w.Name, w.ParallelFrac))
+		w.ParallelFrac = 0
+	} else if w.ParallelFrac > 1 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: parallel fraction %g above 1; clamped to 1", w.Name, w.ParallelFrac))
+		w.ParallelFrac = 1
+	}
+	if bad(w.LoadBalance) || w.LoadBalance < 0 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: load balance %g unusable; assuming lock-step (0)", w.Name, w.LoadBalance))
+		w.LoadBalance = 0
+	} else if w.LoadBalance > 1 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: load balance %g above 1; clamped to 1", w.Name, w.LoadBalance))
+		w.LoadBalance = 1
+	}
+	if bad(w.InterSocketOverhead) || w.InterSocketOverhead < 0 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: inter-socket overhead %g unusable; communication term dropped", w.Name, w.InterSocketOverhead))
+		w.InterSocketOverhead = 0
+	}
+	if bad(w.Burstiness) || w.Burstiness < 0 {
+		reasons = append(reasons, fmt.Sprintf("workload %q: burstiness %g unusable; core-sharing term dropped", w.Name, w.Burstiness))
+		w.Burstiness = 0
+	}
+	for _, d := range []struct {
+		name string
+		val  *float64
+	}{
+		{"instr", &w.Demand.Instr},
+		{"l1", &w.Demand.L1},
+		{"l2", &w.Demand.L2},
+		{"l3", &w.Demand.L3},
+		{"dram", &w.Demand.DRAM},
+	} {
+		if bad(*d.val) || *d.val < 0 {
+			reasons = append(reasons, fmt.Sprintf("workload %q: %s demand %g unusable; contention on it no longer modelled", w.Name, d.name, *d.val))
+			*d.val = 0
+		}
+	}
+	return reasons
 }
 
 // AmdahlSpeedup returns the workload's ideal speedup on n threads.

@@ -10,7 +10,10 @@
 // Ginstr/s-like scale.
 package counters
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Sample aggregates the counters observed over one run of a workload.
 type Sample struct {
@@ -32,8 +35,15 @@ type Sample struct {
 	Threads int `json:"threads"`
 }
 
-// Validate reports whether the sample is internally consistent.
+// Validate reports whether the sample is internally consistent: a positive
+// finite elapsed time, a non-negative thread count, and finite non-negative
+// counter volumes. Corrupted counter reads (NaN/±Inf, the fault model of
+// internal/faults) are named by field so quality reports can say which
+// counter went bad.
 func (s Sample) Validate() error {
+	if math.IsNaN(s.Elapsed) || math.IsInf(s.Elapsed, 0) {
+		return fmt.Errorf("counters: non-finite elapsed time %g", s.Elapsed)
+	}
 	if s.Elapsed <= 0 {
 		return fmt.Errorf("counters: non-positive elapsed time %g", s.Elapsed)
 	}
@@ -51,7 +61,12 @@ func (s Sample) Validate() error {
 		{"dramBytes", s.DRAMBytes},
 		{"interconnectBytes", s.InterconnectBytes},
 	} {
-		if v.val < 0 {
+		switch {
+		case math.IsNaN(v.val):
+			return fmt.Errorf("counters: NaN %s", v.name)
+		case math.IsInf(v.val, 0):
+			return fmt.Errorf("counters: infinite %s %g", v.name, v.val)
+		case v.val < 0:
 			return fmt.Errorf("counters: negative %s %g", v.name, v.val)
 		}
 	}

@@ -41,6 +41,53 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateNonFinite tables NaN/±Inf/negative injections over every
+// float field and checks that the error names the corrupted field.
+func TestValidateNonFinite(t *testing.T) {
+	fields := []struct {
+		name string
+		set  func(*Sample, float64)
+	}{
+		{"elapsed", func(s *Sample, v float64) { s.Elapsed = v }},
+		{"instructions", func(s *Sample, v float64) { s.Instructions = v }},
+		{"l1Bytes", func(s *Sample, v float64) { s.L1Bytes = v }},
+		{"l2Bytes", func(s *Sample, v float64) { s.L2Bytes = v }},
+		{"l3Bytes", func(s *Sample, v float64) { s.L3Bytes = v }},
+		{"dramBytes", func(s *Sample, v float64) { s.DRAMBytes = v }},
+		{"interconnectBytes", func(s *Sample, v float64) { s.InterconnectBytes = v }},
+	}
+	values := []struct {
+		label string
+		val   float64
+	}{
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+		{"negative", -3},
+	}
+	for _, f := range fields {
+		for _, v := range values {
+			t.Run(f.name+"/"+v.label, func(t *testing.T) {
+				s := sample()
+				f.set(&s, v.val)
+				err := s.Validate()
+				if err == nil {
+					t.Fatalf("%s=%g accepted", f.name, v.val)
+				}
+				if !strings.Contains(err.Error(), f.name) {
+					t.Errorf("error %q does not name field %s", err, f.name)
+				}
+			})
+		}
+	}
+	// Zero counters (dropout) stay valid: only repetition can catch them.
+	s := sample()
+	s.L2Bytes, s.DRAMBytes = 0, 0
+	if err := s.Validate(); err != nil {
+		t.Errorf("zeroed counters rejected: %v", err)
+	}
+}
+
 func TestRates(t *testing.T) {
 	r := sample().Rates()
 	want := Rates{Instr: 7, L1: 100, L2: 50, L3: 30, DRAM: 40, Interconnect: 10}

@@ -163,6 +163,35 @@ func (h *Harness) PredictAll(w *core.Workload) ([]float64, error) {
 	return times, nil
 }
 
+// PredictAllDegraded is PredictAll with core degraded mode enabled: defects
+// in the description are repaired pessimistically and non-convergence falls
+// back to the Amdahl-only model instead of failing the whole sweep. It
+// additionally returns how many of the predictions were degraded.
+func (h *Harness) PredictAllDegraded(w *core.Workload) ([]float64, int, error) {
+	times := make([]float64, len(h.Shapes))
+	flags := make([]bool, len(h.Shapes))
+	topo := h.TB.Machine()
+	err := parallelEach(len(h.Shapes), func(i int) error {
+		pred, err := core.Predict(h.MD, w, h.Shapes[i].Expand(topo), core.Options{AllowDegraded: true})
+		if err != nil {
+			return fmt.Errorf("eval: degraded prediction of %s on %v: %w", w.Name, h.Shapes[i], err)
+		}
+		times[i] = pred.Time
+		flags[i] = pred.Degraded
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	degraded := 0
+	for _, f := range flags {
+		if f {
+			degraded++
+		}
+	}
+	return times, degraded, nil
+}
+
 // Curve is one workload's measured-versus-predicted placement curve
 // (Figs. 1 and 10): times aligned with the harness's shape set.
 type Curve struct {

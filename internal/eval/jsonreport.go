@@ -21,6 +21,8 @@ type Report struct {
 	Ablations []AblationRow `json:"ablations,omitempty"`
 	// Turbo is the Fig. 14 study.
 	Turbo *TurboCurves `json:"turbo,omitempty"`
+	// Noise is the profiling-fault resilience sweep (robustness study).
+	Noise *NoiseResult `json:"noise,omitempty"`
 }
 
 // NewReport allocates an empty report.

@@ -1,0 +1,199 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pandia/internal/bench"
+	"pandia/internal/faults"
+	"pandia/internal/workload"
+)
+
+// NoisePenaltyErr is the mean error (%) charged to a pipeline run that
+// produces no usable prediction at all — a failed profile or a prediction
+// the strict model rejects. It is the cost of having nothing to act on:
+// the operator falls back to a blind placement, which on these machines is
+// on the order of 100% worse than the best placement in normalised terms.
+const NoisePenaltyErr = 100.0
+
+// NoisePoint is the outcome of one fault-rate setting in the resilience
+// sweep: the naive single-shot pipeline and the hardened pipeline side by
+// side, averaged over workloads and replicates.
+type NoisePoint struct {
+	// Rate is the base injection rate fed to faults.Uniform.
+	Rate float64 `json:"rate"`
+	// NaiveMeanErr / RobustMeanErr are the mean prediction errors (%)
+	// across workloads and replicates, penalty-charged for failures.
+	NaiveMeanErr  float64 `json:"naiveMeanErr"`
+	RobustMeanErr float64 `json:"robustMeanErr"`
+	// NaiveFailures / RobustFailures count pipeline runs that produced no
+	// usable prediction (profile error or strict-model rejection).
+	NaiveFailures  int `json:"naiveFailures"`
+	RobustFailures int `json:"robustFailures"`
+	// Degraded counts robust predictions that were marked Degraded (a
+	// repaired input or an Amdahl-only fallback) — usable, but flagged.
+	Degraded int `json:"degradedPredictions"`
+	// NaiveCost / RobustCost are the total virtual machine-seconds the
+	// profiling runs consumed, including retry and backoff accounting.
+	NaiveCost  float64 `json:"naiveCost"`
+	RobustCost float64 `json:"robustCost"`
+}
+
+// NoiseResult is the full resilience sweep on one machine.
+type NoiseResult struct {
+	Machine string `json:"machine"`
+	Seed    int64  `json:"seed"`
+	// Replicates is how many independently-seeded profiling runs each
+	// (rate, workload) cell averages over.
+	Replicates int `json:"replicates"`
+	// BaselineErr is the fault-free single-shot mean error (%): the floor
+	// both pipelines are measured against.
+	BaselineErr float64 `json:"baselineErr"`
+	// Policy is the retry/aggregation policy the robust pipeline used.
+	Policy faults.Policy `json:"policy"`
+	Points []NoisePoint  `json:"points"`
+}
+
+// DefaultNoiseRates is the fault-rate ladder the noise experiment sweeps.
+func DefaultNoiseRates() []float64 { return []float64{0, 0.02, 0.05, 0.1, 0.2} }
+
+// NoiseResilience sweeps fault-injection rates on the harness's machine,
+// comparing the naive single-shot profiling pipeline against the hardened
+// one (median-of-k profiling plus degraded-mode prediction). Ground-truth
+// placement times come from the fault-free testbed; only the profiling
+// runs pass through the injector, mirroring a deployment where production
+// measurements are trustworthy but the profiling hosts are noisy.
+//
+// For each rate, each workload is profiled `replicates` times with
+// distinct seeds by both pipelines against the same fault process. A
+// pipeline run that yields no usable prediction is charged NoisePenaltyErr.
+// Everything is deterministic in (seed, rates, entries, replicates, pol).
+func NoiseResilience(h *Harness, entries []bench.Entry, rates []float64, pol faults.Policy, replicates int, seed int64) (*NoiseResult, error) {
+	if len(entries) == 0 || len(rates) == 0 {
+		return nil, fmt.Errorf("eval: noise resilience needs workloads and rates")
+	}
+	if replicates < 1 {
+		replicates = 1
+	}
+	if !pol.Robust() {
+		pol = faults.RobustDefaults()
+	}
+
+	// Fault-free baseline: the error the single-shot pipeline achieves when
+	// nothing goes wrong.
+	var baseline float64
+	for _, e := range entries {
+		meas, err := h.MeasureAll(e)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := h.Profile(e)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := h.PredictAll(&prof.Workload)
+		if err != nil {
+			return nil, err
+		}
+		baseline += ComputeMetrics(meas, pred).MeanErr
+	}
+	baseline /= float64(len(entries))
+
+	out := &NoiseResult{
+		Machine: h.Key, Seed: seed, Replicates: replicates,
+		BaselineErr: baseline, Policy: pol,
+	}
+	for ri, rate := range rates {
+		inj, err := faults.New(h.TB, faults.Uniform(rate, seed+int64(ri)*1_000_003))
+		if err != nil {
+			return nil, err
+		}
+		pt := NoisePoint{Rate: rate}
+		cells := 0
+		for _, e := range entries {
+			meas, err := h.MeasureAll(e)
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < replicates; r++ {
+				// Both pipelines start from the same seed, hence face the
+				// same fault draws on their shared attempts; the robust one
+				// additionally pays for retries and repeats.
+				profSeed := faults.AttemptSeed(seed, ri*replicates+r+1)
+				cells++
+
+				naive := &workload.Profiler{TB: inj, MD: h.MD, Seed: profSeed}
+				if prof, err := naive.Profile(e.Truth); err != nil {
+					pt.NaiveFailures++
+					pt.NaiveMeanErr += NoisePenaltyErr
+				} else {
+					pt.NaiveCost += prof.Cost
+					if pred, err := h.PredictAll(&prof.Workload); err != nil {
+						pt.NaiveFailures++
+						pt.NaiveMeanErr += NoisePenaltyErr
+					} else {
+						pt.NaiveMeanErr += ComputeMetrics(meas, pred).MeanErr
+					}
+				}
+
+				robust := &workload.Profiler{TB: inj, MD: h.MD, Seed: profSeed, Policy: pol}
+				if prof, err := robust.Profile(e.Truth); err != nil {
+					pt.RobustFailures++
+					pt.RobustMeanErr += NoisePenaltyErr
+				} else {
+					pt.RobustCost += prof.Cost
+					if pred, degraded, err := h.PredictAllDegraded(&prof.Workload); err != nil {
+						pt.RobustFailures++
+						pt.RobustMeanErr += NoisePenaltyErr
+					} else {
+						pt.RobustMeanErr += ComputeMetrics(meas, pred).MeanErr
+						pt.Degraded += degraded
+					}
+				}
+			}
+		}
+		pt.NaiveMeanErr /= float64(cells)
+		pt.RobustMeanErr /= float64(cells)
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// RenderNoise prints the resilience sweep as a text table.
+func RenderNoise(w io.Writer, n *NoiseResult) error {
+	title := fmt.Sprintf("Profiling-fault resilience on %s (baseline %.1f%%, %d replicates, repeats=%d retries=%d)",
+		n.Machine, n.BaselineErr, n.Replicates, n.Policy.Repeats, n.Policy.MaxRetries)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%6s %12s %12s %9s %9s %9s %11s %11s\n",
+		"rate", "naiveErr%", "robustErr%", "naiveFail", "robFail", "degraded", "naiveCost", "robCost"); err != nil {
+		return err
+	}
+	for _, p := range n.Points {
+		if _, err := fmt.Fprintf(w, "%6.2f %12.2f %12.2f %9d %9d %9d %11.0f %11.0f\n",
+			p.Rate, p.NaiveMeanErr, p.RobustMeanErr,
+			p.NaiveFailures, p.RobustFailures, p.Degraded,
+			p.NaiveCost, p.RobustCost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNoiseCSV writes the sweep in CSV form for plotting.
+func WriteNoiseCSV(w io.Writer, n *NoiseResult) error {
+	if _, err := fmt.Fprintf(w, "rate,naiveMeanErr,robustMeanErr,naiveFailures,robustFailures,degraded,naiveCost,robustCost,baselineErr\n"); err != nil {
+		return err
+	}
+	for _, p := range n.Points {
+		if _, err := fmt.Fprintf(w, "%g,%g,%g,%d,%d,%d,%g,%g,%g\n",
+			p.Rate, p.NaiveMeanErr, p.RobustMeanErr,
+			p.NaiveFailures, p.RobustFailures, p.Degraded,
+			p.NaiveCost, p.RobustCost, n.BaselineErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pandia/internal/bench"
+	"pandia/internal/faults"
+)
+
+func noiseEntries(t *testing.T) []bench.Entry {
+	t.Helper()
+	var out []bench.Entry
+	for _, name := range []string{"MD", "CG"} {
+		e, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestNoiseResilienceAcceptance is the robustness acceptance criterion: at
+// 5% counter-dropout + outlier injection the hardened pipeline's mean
+// prediction error stays within 2x of the fault-free baseline, while the
+// naive single-shot pipeline degrades strictly worse.
+func TestNoiseResilienceAcceptance(t *testing.T) {
+	h := x32Harness(t)
+	n, err := NoiseResilience(h, noiseEntries(t), []float64{0.05, 0.1}, faults.RobustDefaults(), 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.BaselineErr <= 0 {
+		t.Fatalf("degenerate fault-free baseline %g", n.BaselineErr)
+	}
+	for _, p := range n.Points {
+		t.Logf("rate %.2f: naive %.2f%% (%d fail) robust %.2f%% (%d fail, %d degraded) baseline %.2f%%",
+			p.Rate, p.NaiveMeanErr, p.NaiveFailures, p.RobustMeanErr, p.RobustFailures, p.Degraded, n.BaselineErr)
+		if p.RobustMeanErr > 2*n.BaselineErr {
+			t.Errorf("rate %.2f: robust error %.2f%% exceeds 2x baseline %.2f%%",
+				p.Rate, p.RobustMeanErr, n.BaselineErr)
+		}
+		if p.NaiveMeanErr <= p.RobustMeanErr {
+			t.Errorf("rate %.2f: naive error %.2f%% not strictly worse than robust %.2f%%",
+				p.Rate, p.NaiveMeanErr, p.RobustMeanErr)
+		}
+		// The robust pipeline pays for its resilience in machine time.
+		if p.RobustCost <= p.NaiveCost {
+			t.Errorf("rate %.2f: robust cost %g not above naive cost %g",
+				p.Rate, p.RobustCost, p.NaiveCost)
+		}
+	}
+}
+
+// TestNoiseResilienceZeroRate checks the sweep's control point: with no
+// faults injected both pipelines match the fault-free baseline exactly and
+// nothing fails or degrades.
+func TestNoiseResilienceZeroRate(t *testing.T) {
+	h := x32Harness(t)
+	n, err := NoiseResilience(h, noiseEntries(t), []float64{0}, faults.RobustDefaults(), 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Points[0]
+	if p.NaiveFailures != 0 || p.RobustFailures != 0 || p.Degraded != 0 {
+		t.Errorf("fault-free point reports failures: %+v", p)
+	}
+	// The profiling seeds differ from the baseline's, so errors need not be
+	// identical — but without faults both pipelines must sit near it.
+	if p.NaiveMeanErr > 2*n.BaselineErr || p.RobustMeanErr > 2*n.BaselineErr {
+		t.Errorf("fault-free errors far from baseline %.2f%%: %+v", n.BaselineErr, p)
+	}
+}
+
+// TestNoiseResilienceDeterministic pins that the sweep is a pure function
+// of its inputs.
+func TestNoiseResilienceDeterministic(t *testing.T) {
+	h := x32Harness(t)
+	entries := noiseEntries(t)[:1]
+	a, err := NoiseResilience(h, entries, []float64{0.1}, faults.RobustDefaults(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NoiseResilience(h, entries, []float64{0.1}, faults.RobustDefaults(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Errorf("sweep not deterministic:\n a %+v\n b %+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestNoiseRenderAndCSV(t *testing.T) {
+	n := &NoiseResult{
+		Machine: "x3-2", BaselineErr: 3.2, Replicates: 2, Policy: faults.RobustDefaults(),
+		Points: []NoisePoint{{Rate: 0.05, NaiveMeanErr: 21.5, RobustMeanErr: 4.1, NaiveFailures: 3, Degraded: 2, NaiveCost: 100, RobustCost: 700}},
+	}
+	var table, csv strings.Builder
+	if err := RenderNoise(&table, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "0.05") || !strings.Contains(table.String(), "x3-2") {
+		t.Errorf("table missing content:\n%s", table.String())
+	}
+	if err := WriteNoiseCSV(&csv, n); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "rate,") {
+		t.Errorf("csv shape wrong:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,282 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pandia/internal/counters"
+	"pandia/internal/simhw"
+)
+
+// Policy is the consumer-side resilience policy for one measurement. The
+// zero value is single-shot pass-through: one run, no validation, no
+// aggregation — byte-identical to calling the runner directly, so existing
+// fail-fast pipelines keep their exact behaviour.
+type Policy struct {
+	// Repeats is k, the number of good runs wanted for median-of-k
+	// aggregation; values below 1 mean 1.
+	Repeats int
+	// MaxRetries is the extra attempt budget beyond Repeats for replacing
+	// failed or invalid runs.
+	MaxRetries int
+	// MADCutoff rejects collected runs whose time deviates from the median
+	// by more than MADCutoff times the median absolute deviation; 0 means
+	// the default (3.5). Rejection needs at least 3 collected runs.
+	MADCutoff float64
+	// BackoffUnit is the virtual machine time (seconds) charged for the
+	// first retry, doubling per consecutive failure — the cost a live
+	// system would pay backing off, accounted without wall-clock sleeps.
+	BackoffUnit float64
+}
+
+const defaultMADCutoff = 3.5
+
+// Robust reports whether the policy actually aggregates (anything beyond
+// single-shot pass-through).
+func (p Policy) Robust() bool { return p.Repeats > 1 || p.MaxRetries > 0 }
+
+// RobustDefaults is the hardened profiling policy used by the resilience
+// pipeline: median-of-5 with a doubled retry budget, default MAD outlier
+// rejection, and one virtual second of initial backoff.
+func RobustDefaults() Policy {
+	return Policy{Repeats: 5, MaxRetries: 10, MADCutoff: defaultMADCutoff, BackoffUnit: 1}
+}
+
+func (p Policy) repeats() int {
+	if p.Repeats < 1 {
+		return 1
+	}
+	return p.Repeats
+}
+
+func (p Policy) madCutoff() float64 {
+	if p.MADCutoff > 0 {
+		return p.MADCutoff
+	}
+	return defaultMADCutoff
+}
+
+// Report is the quality record of one measurement.
+type Report struct {
+	// Attempts is the number of runs started; Failures those that errored;
+	// Invalid those that returned an unusable sample (NaN/±Inf/negative).
+	Attempts int `json:"attempts"`
+	Failures int `json:"failures"`
+	Invalid  int `json:"invalid"`
+	// Outliers counts collected runs rejected by the MAD filter; Used is
+	// the number of runs aggregated into the result.
+	Outliers int `json:"outliers"`
+	Used     int `json:"used"`
+	// Exhausted reports that the retry budget ran out before Repeats good
+	// runs were collected (the result still aggregates what was gathered).
+	Exhausted bool `json:"exhausted,omitempty"`
+	// Cost is the virtual machine time consumed: successful run times,
+	// hung-run deadlines, and backoff charges.
+	Cost float64 `json:"cost"`
+}
+
+// Merge accumulates another report into r (for per-profile rollups).
+func (r *Report) Merge(o Report) {
+	r.Attempts += o.Attempts
+	r.Failures += o.Failures
+	r.Invalid += o.Invalid
+	r.Outliers += o.Outliers
+	r.Used += o.Used
+	r.Exhausted = r.Exhausted || o.Exhausted
+	r.Cost += o.Cost
+}
+
+// AttemptSeed derives the run seed for one retry attempt. Attempt 0 keeps
+// the base seed unchanged, so single-shot behaviour is bit-identical to the
+// unwrapped pipeline; later attempts decorrelate both the testbed's noise
+// and the injector's fault dice.
+func AttemptSeed(base int64, attempt int) int64 {
+	if attempt == 0 {
+		return base
+	}
+	// SplitMix64-style odd-constant mixing; overflow wraps deterministically.
+	return base + int64(attempt)*-0x61c8864680b583eb
+}
+
+// Measure executes one logical measurement under the policy: up to
+// Repeats+MaxRetries attempts, collecting Repeats valid runs, rejecting
+// MAD outliers, and aggregating the survivors by per-field median. It
+// returns an error only when no attempt produced a usable run.
+func Measure(r simhw.Runner, cfg simhw.RunConfig, pol Policy) (simhw.RunResult, Report, error) {
+	var rep Report
+	if !pol.Robust() {
+		rep.Attempts = 1
+		res, err := r.Run(cfg)
+		if err != nil {
+			rep.Failures = 1
+			if cost, ok := failureCost(err); ok {
+				rep.Cost += cost
+			}
+			return res, rep, err
+		}
+		rep.Used = 1
+		rep.Cost = res.Time
+		return res, rep, nil
+	}
+
+	want := pol.repeats()
+	budget := want + pol.MaxRetries
+	var good []simhw.RunResult
+	var lastErr error
+	consecutiveFailures := 0
+	for attempt := 0; attempt < budget && len(good) < want; attempt++ {
+		rcfg := cfg
+		rcfg.Seed = AttemptSeed(cfg.Seed, attempt)
+		rep.Attempts++
+		res, err := r.Run(rcfg)
+		if err != nil {
+			rep.Failures++
+			lastErr = err
+			if cost, ok := failureCost(err); ok {
+				rep.Cost += cost
+			}
+			consecutiveFailures++
+			if pol.BackoffUnit > 0 {
+				rep.Cost += pol.BackoffUnit * math.Pow(2, float64(consecutiveFailures-1))
+			}
+			continue
+		}
+		rep.Cost += res.Time
+		if verr := validResult(res); verr != nil {
+			rep.Invalid++
+			lastErr = verr
+			consecutiveFailures++
+			if pol.BackoffUnit > 0 {
+				rep.Cost += pol.BackoffUnit * math.Pow(2, float64(consecutiveFailures-1))
+			}
+			continue
+		}
+		consecutiveFailures = 0
+		good = append(good, res)
+	}
+	rep.Exhausted = len(good) < want
+	if len(good) == 0 {
+		return simhw.RunResult{}, rep, fmt.Errorf(
+			"faults: measurement of %q failed: no usable run in %d attempts: %w",
+			cfg.Workload.Name, rep.Attempts, lastErr)
+	}
+
+	kept := rejectOutliers(good, pol.madCutoff())
+	rep.Outliers = len(good) - len(kept)
+	rep.Used = len(kept)
+	return aggregate(kept), rep, nil
+}
+
+// failureCost maps a run error onto the virtual machine time it consumed:
+// hung runs burn their whole deadline, transient failures are assumed to
+// fail fast.
+func failureCost(err error) (float64, bool) {
+	if h, ok := err.(*HangError); ok {
+		return h.Deadline, true
+	}
+	return 0, false
+}
+
+// validResult rejects runs whose time or counters are unusable: non-finite
+// or non-positive times, and samples failing counters.Sample.Validate
+// (NaN/±Inf/negative counters). Dropout (zeroed levels) passes validation —
+// only repetition can catch it.
+func validResult(res simhw.RunResult) error {
+	if math.IsNaN(res.Time) || math.IsInf(res.Time, 0) || res.Time <= 0 {
+		return fmt.Errorf("faults: non-finite or non-positive run time %g", res.Time)
+	}
+	return res.Sample.Validate()
+}
+
+// rejectOutliers drops runs whose time deviates from the median by more
+// than cutoff times the median absolute deviation. With fewer than 3 runs,
+// or a degenerate (zero) MAD, everything is kept.
+func rejectOutliers(runs []simhw.RunResult, cutoff float64) []simhw.RunResult {
+	if len(runs) < 3 {
+		return runs
+	}
+	times := make([]float64, len(runs))
+	for i, r := range runs {
+		times[i] = r.Time
+	}
+	med := medianOf(times)
+	devs := make([]float64, len(times))
+	for i, t := range times {
+		devs[i] = math.Abs(t - med)
+	}
+	mad := medianOf(devs)
+	if mad <= 0 {
+		return runs
+	}
+	kept := make([]simhw.RunResult, 0, len(runs))
+	for i, r := range runs {
+		if devs[i] <= cutoff*mad {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		return runs
+	}
+	return kept
+}
+
+// aggregate reduces the kept runs to one result: the median time, per-field
+// median counters, and the thread rates of the run closest to the median
+// time.
+func aggregate(runs []simhw.RunResult) simhw.RunResult {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	times := make([]float64, len(runs))
+	for i, r := range runs {
+		times[i] = r.Time
+	}
+	med := medianOf(times)
+
+	// Representative run: closest to the median time (ties: first).
+	repIdx := 0
+	best := math.Inf(1)
+	for i, t := range times {
+		if d := math.Abs(t - med); d < best {
+			best, repIdx = d, i
+		}
+	}
+	out := runs[repIdx]
+	out.Time = med
+	out.Sample = medianSample(runs)
+	out.Sample.Elapsed = med
+	out.Sample.Threads = runs[repIdx].Sample.Threads
+	out.ThreadRates = append([]float64(nil), runs[repIdx].ThreadRates...)
+	return out
+}
+
+// medianSample takes the per-field median over the runs' samples, outvoting
+// dropped (zeroed) and spiked levels as long as fewer than half the runs
+// are affected.
+func medianSample(runs []simhw.RunResult) counters.Sample {
+	var out counters.Sample
+	outFields := sampleFields(&out)
+	vals := make([]float64, len(runs))
+	for f := range outFields {
+		for i := range runs {
+			vals[i] = *sampleFields(&runs[i].Sample)[f]
+		}
+		*outFields[f] = medianOf(vals)
+	}
+	return out
+}
+
+// medianOf returns the median of xs (0 for empty input). The input slice is
+// not modified.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

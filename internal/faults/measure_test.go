@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"pandia/internal/simhw"
+)
+
+func TestMeasureZeroPolicyPassThrough(t *testing.T) {
+	tb := testbed(t)
+	cfg := soloCfg(3)
+	want, err := tb.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := Measure(tb, cfg, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time || got.Sample != want.Sample {
+		t.Errorf("zero policy changed the result: %+v vs %+v", got, want)
+	}
+	if rep.Attempts != 1 || rep.Used != 1 || rep.Failures != 0 || rep.Cost != want.Time {
+		t.Errorf("zero-policy report %+v", rep)
+	}
+}
+
+func TestMeasureMedianBeatsOutliers(t *testing.T) {
+	tb := testbed(t)
+	clean, err := tb.Run(soloCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30% outliers of 10x: median-of-5 with MAD rejection should land near
+	// the clean time; a single shot frequently lands on 10x.
+	in, _ := New(tb, Config{Outlier: 0.3, OutlierFactor: 10, Seed: 5})
+	res, rep, err := Measure(in, soloCfg(0), Policy{Repeats: 5, MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Time-clean.Time) / clean.Time; rel > 0.1 {
+		t.Errorf("robust time %g vs clean %g (%.1f%% off)", res.Time, clean.Time, 100*rel)
+	}
+	if rep.Used < 3 {
+		t.Errorf("used only %d runs: %+v", rep.Used, rep)
+	}
+}
+
+func TestMeasureOutvotesDropout(t *testing.T) {
+	tb := testbed(t)
+	clean, err := tb.Run(soloCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := New(tb, Config{Dropout: 0.3, Seed: 11})
+	res, _, err := Measure(in, soloCfg(0), Policy{Repeats: 7, MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanF := sampleFields(&clean.Sample)
+	gotF := sampleFields(&res.Sample)
+	for i := range cleanF {
+		if *cleanF[i] > 0 && *gotF[i] == 0 {
+			t.Errorf("aggregated sample still missing level %d: %+v", i, res.Sample)
+		}
+	}
+}
+
+func TestMeasureRetriesTransients(t *testing.T) {
+	tb := testbed(t)
+	in, _ := New(tb, Config{Transient: 0.5, Seed: 3})
+	res, rep, err := Measure(in, soloCfg(0), Policy{Repeats: 3, MaxRetries: 12, BackoffUnit: 10})
+	if err != nil {
+		t.Fatalf("robust measurement failed despite retry budget: %v (%+v)", err, rep)
+	}
+	if res.Time <= 0 {
+		t.Errorf("bad aggregated time %g", res.Time)
+	}
+	if rep.Failures == 0 {
+		t.Skip("fault dice injected no transient in this window") // deterministic; will not flake
+	}
+	// Backoff accounting: at least one failure charged at least one unit.
+	minBackoff := 10.0
+	if rep.Cost < minBackoff {
+		t.Errorf("cost %g does not include backoff charges (%d failures)", rep.Cost, rep.Failures)
+	}
+}
+
+func TestMeasureHangChargesDeadline(t *testing.T) {
+	tb := testbed(t)
+	in, _ := New(tb, Config{Hang: 1, DeadlineSeconds: 50})
+	_, rep, err := Measure(in, soloCfg(0), Policy{Repeats: 2, MaxRetries: 1})
+	if err == nil {
+		t.Fatal("all-hang injector produced a result")
+	}
+	if !rep.Exhausted || rep.Failures != 3 || rep.Attempts != 3 {
+		t.Errorf("report %+v, want 3 exhausted failures", rep)
+	}
+	if rep.Cost != 150 {
+		t.Errorf("cost %g, want 3 deadlines = 150", rep.Cost)
+	}
+}
+
+func TestMeasureBudgetExhaustedKeepsPartial(t *testing.T) {
+	tb := testbed(t)
+	// Half the attempts fail; with a tight budget we may collect fewer than
+	// Repeats good runs but must still aggregate the partial set.
+	in, _ := New(tb, Config{Transient: 0.5, Seed: 9})
+	res, rep, err := Measure(in, soloCfg(0), Policy{Repeats: 8, MaxRetries: 0})
+	if err != nil {
+		if rep.Attempts != 8 {
+			t.Errorf("attempts %d, want 8", rep.Attempts)
+		}
+		t.Skipf("every attempt failed for this seed: %v", err)
+	}
+	if rep.Used == 0 || res.Time <= 0 {
+		t.Errorf("partial aggregation missing: %+v", rep)
+	}
+	if rep.Used+rep.Outliers+rep.Failures+rep.Invalid != rep.Attempts {
+		t.Errorf("report does not add up: %+v", rep)
+	}
+}
+
+func TestMeasureRejectsCorruptRuns(t *testing.T) {
+	tb := testbed(t)
+	in, _ := New(tb, Config{Corrupt: 0.4, Seed: 2})
+	res, rep, err := Measure(in, soloCfg(0), Policy{Repeats: 5, MaxRetries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Sample.Validate(); err != nil {
+		t.Errorf("aggregated sample invalid: %v", err)
+	}
+	if rep.Invalid == 0 {
+		t.Logf("no corruption drawn in this window (deterministic): %+v", rep)
+	}
+}
+
+func TestAttemptSeed(t *testing.T) {
+	if AttemptSeed(42, 0) != 42 {
+		t.Error("attempt 0 must keep the base seed")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		s := AttemptSeed(42, i)
+		if seen[s] {
+			t.Fatalf("attempt seeds collide at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRejectOutliers(t *testing.T) {
+	mk := func(times ...float64) []simhw.RunResult {
+		out := make([]simhw.RunResult, len(times))
+		for i, tt := range times {
+			out[i].Time = tt
+		}
+		return out
+	}
+	kept := rejectOutliers(mk(10, 10.1, 9.9, 10.05, 100), 3.5)
+	if len(kept) != 4 {
+		t.Errorf("kept %d runs, want 4 (the 100 rejected)", len(kept))
+	}
+	// Fewer than 3 runs: no rejection.
+	if got := rejectOutliers(mk(1, 100), 3.5); len(got) != 2 {
+		t.Errorf("small sets must not be filtered, kept %d", len(got))
+	}
+	// Identical times (MAD 0): keep all.
+	if got := rejectOutliers(mk(5, 5, 5, 5), 3.5); len(got) != 4 {
+		t.Errorf("zero-MAD set filtered to %d", len(got))
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median %g", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median %g", got)
+	}
+	if got := medianOf(nil); got != 0 {
+		t.Errorf("empty median %g", got)
+	}
+	xs := []float64{9, 1, 5}
+	_ = medianOf(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("medianOf mutated its input")
+	}
+}

@@ -9,8 +9,10 @@ package machine
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
+	"pandia/internal/counters"
 	"pandia/internal/topology"
 )
 
@@ -38,10 +40,30 @@ type Description struct {
 	InterconnectBW float64 `json:"interconnectBW"`
 }
 
-// Validate reports whether the description is usable for prediction.
+// Validate reports whether the description is usable for prediction. NaN
+// and ±Inf capacities are rejected explicitly: NaN passes every range
+// comparison, so a corrupted stress measurement would otherwise reach the
+// predictor as a capacity.
 func (d *Description) Validate() error {
 	if err := d.Topo.Validate(); err != nil {
 		return err
+	}
+	for _, c := range []struct {
+		name string
+		val  float64
+	}{
+		{"core peak", d.CorePeakInstr},
+		{"SMT factor", d.SMTFactor},
+		{"L1 bandwidth", d.L1BW},
+		{"L2 bandwidth", d.L2BW},
+		{"L3 link bandwidth", d.L3LinkBW},
+		{"L3 aggregate bandwidth", d.L3AggBW},
+		{"DRAM bandwidth", d.DRAMBW},
+		{"interconnect bandwidth", d.InterconnectBW},
+	} {
+		if math.IsNaN(c.val) || math.IsInf(c.val, 0) {
+			return fmt.Errorf("machine: %s: non-finite %s %g", d.Topo.Name, c.name, c.val)
+		}
 	}
 	if d.CorePeakInstr <= 0 {
 		return fmt.Errorf("machine: %s: non-positive core peak", d.Topo.Name)
@@ -61,6 +83,60 @@ func (d *Description) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Repair substitutes capacities the stress measurements failed to establish
+// (missing, negative, or non-finite) so degraded-mode prediction can
+// proceed, returning one reason string per change. Required capacities take
+// the conservative pessimistic cap: the workload's own per-thread demand for
+// the resource, so every co-scheduled thread fully serialises behind it and
+// the prediction overestimates contention instead of missing it. When the
+// workload does not touch the resource either, the capacity becomes 1 — any
+// positive value works, since zero demand draws zero load. Optional cache
+// capacities take the same demand cap. An invalid topology is unrepairable
+// and left for Validate to reject.
+func (d *Description) Repair(demand counters.Rates) []string {
+	var reasons []string
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	capAt := func(dm float64) float64 {
+		if dm > 0 {
+			return dm
+		}
+		return 1
+	}
+	if bad(d.CorePeakInstr) || d.CorePeakInstr <= 0 {
+		d.CorePeakInstr = capAt(demand.Instr)
+		reasons = append(reasons, fmt.Sprintf("machine %s: core peak unusable; pessimistic cap at per-thread demand %g", d.Topo.Name, d.CorePeakInstr))
+	}
+	if bad(d.SMTFactor) || d.SMTFactor < 1 {
+		d.SMTFactor = 1
+		reasons = append(reasons, fmt.Sprintf("machine %s: SMT factor unusable; assuming no SMT gain (1)", d.Topo.Name))
+	}
+	if bad(d.DRAMBW) || d.DRAMBW <= 0 {
+		d.DRAMBW = capAt(demand.DRAM)
+		reasons = append(reasons, fmt.Sprintf("machine %s: DRAM bandwidth unusable; pessimistic cap at per-thread demand %g", d.Topo.Name, d.DRAMBW))
+	}
+	if d.Topo.Sockets > 1 && (bad(d.InterconnectBW) || d.InterconnectBW <= 0) {
+		d.InterconnectBW = capAt(demand.DRAM)
+		reasons = append(reasons, fmt.Sprintf("machine %s: interconnect bandwidth unusable; pessimistic cap at per-thread DRAM demand %g", d.Topo.Name, d.InterconnectBW))
+	}
+	for _, c := range []struct {
+		name string
+		val  *float64
+		dm   float64
+	}{
+		{"L1 bandwidth", &d.L1BW, demand.L1},
+		{"L2 bandwidth", &d.L2BW, demand.L2},
+		{"L3 link bandwidth", &d.L3LinkBW, demand.L3},
+		{"L3 aggregate bandwidth", &d.L3AggBW, demand.L3},
+		{"interconnect bandwidth", &d.InterconnectBW, demand.DRAM},
+	} {
+		if bad(*c.val) || *c.val < 0 {
+			*c.val = c.dm // zero demand -> 0: the resource stays unconstrained
+			reasons = append(reasons, fmt.Sprintf("machine %s: %s unusable; pessimistic cap at per-thread demand %g", d.Topo.Name, c.name, *c.val))
+		}
+	}
+	return reasons
 }
 
 // InstrCapacity returns the instruction-issue capacity of one core hosting

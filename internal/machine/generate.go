@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"pandia/internal/faults"
 	"pandia/internal/placement"
 	"pandia/internal/simhw"
 	"pandia/internal/stress"
@@ -17,17 +18,29 @@ import (
 // enabled and idle cores are kept busy, so capacities are quoted at the
 // all-core operating point (§6.3).
 func Describe(tb *simhw.Testbed) (*Description, error) {
-	topo := tb.Machine()
+	d, _, err := DescribeWith(tb, faults.Policy{})
+	return d, err
+}
+
+// DescribeWith generates the machine description through any runner — a raw
+// testbed or a fault injector — measuring each stress run under the given
+// resilience policy. The zero policy is single-shot fail-fast, bit-identical
+// to Describe on an unwrapped testbed. The returned report rolls up the
+// measurement quality over all stress runs.
+func DescribeWith(r simhw.Runner, pol faults.Policy) (*Description, faults.Report, error) {
+	var quality faults.Report
+	topo := r.Machine()
 	d := &Description{Topo: topo}
-	l3 := tb.L3SizeMB()
+	l3 := r.L3SizeMB()
 
 	run := func(w simhw.WorkloadTruth, p placement.Placement, mem simhw.MemPolicy) (simhw.RunResult, error) {
-		res, err := tb.Run(simhw.RunConfig{
+		res, rep, err := faults.Measure(r, simhw.RunConfig{
 			Workload:  w,
 			Placement: []topology.Context(p),
 			Memory:    mem,
 			Power:     simhw.PowerFilled,
-		})
+		}, pol)
+		quality.Merge(rep)
 		if err != nil {
 			return res, fmt.Errorf("machine: stress run %s: %w", w.Name, err)
 		}
@@ -47,13 +60,13 @@ func Describe(tb *simhw.Testbed) (*Description, error) {
 	solo := placement.Placement{{Socket: 0, Core: 0, Slot: 0}}
 	wholeSocket, err := placement.OnePerCore(topo, 0, topo.CoresPerSocket)
 	if err != nil {
-		return nil, fmt.Errorf("machine: building whole-socket placement: %w", err)
+		return nil, quality, fmt.Errorf("machine: building whole-socket placement: %w", err)
 	}
 
 	// Core peak instruction rate: one CPU-bound thread (§3.2).
 	res, err := run(stress.App(stress.CPU, l3, 1), solo, simhw.MemPolicy{})
 	if err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.CorePeakInstr = res.Sample.Rates().Instr
 
@@ -62,7 +75,7 @@ func Describe(tb *simhw.Testbed) (*Description, error) {
 		pair := placement.Placement{{Socket: 0, Core: 0, Slot: 0}, {Socket: 0, Core: 0, Slot: 1}}
 		res, err = run(stress.App(stress.CPU, l3, 2), pair, simhw.MemPolicy{})
 		if err != nil {
-			return nil, err
+			return nil, quality, err
 		}
 		d.SMTFactor = res.Sample.Rates().Instr / d.CorePeakInstr
 		if d.SMTFactor < 1 {
@@ -74,29 +87,29 @@ func Describe(tb *simhw.Testbed) (*Description, error) {
 
 	// Per-core cache link bandwidths: single-thread streaming (§3.1).
 	if res, err = run(stress.App(stress.L1, l3, 1), solo, simhw.MemPolicy{}); err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.L1BW = constrained(res.Sample.Rates().L1)
 	if res, err = run(stress.App(stress.L2, l3, 1), solo, simhw.MemPolicy{}); err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.L2BW = constrained(res.Sample.Rates().L2)
 
 	// L3: per-core link from a single thread, aggregate from one thread on
 	// every core of the socket (§3.1: both limits are recorded).
 	if res, err = run(stress.App(stress.L3, l3, 1), solo, simhw.MemPolicy{}); err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.L3LinkBW = constrained(res.Sample.Rates().L3)
 	if res, err = run(stress.App(stress.L3, l3, topo.CoresPerSocket), wholeSocket, simhw.MemPolicy{}); err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.L3AggBW = constrained(res.Sample.Rates().L3)
 
 	// DRAM: streaming from local memory on every core of one socket.
 	if res, err = run(stress.App(stress.DRAM, l3, topo.CoresPerSocket), wholeSocket,
 		simhw.MemPolicy{BindSockets: []int{0}}); err != nil {
-		return nil, err
+		return nil, quality, err
 	}
 	d.DRAMBW = res.Sample.Rates().DRAM
 
@@ -106,13 +119,13 @@ func Describe(tb *simhw.Testbed) (*Description, error) {
 	if topo.Sockets > 1 {
 		if res, err = run(stress.App(stress.Interconnect, l3, topo.CoresPerSocket), wholeSocket,
 			simhw.MemPolicy{BindSockets: []int{1}}); err != nil {
-			return nil, err
+			return nil, quality, err
 		}
 		d.InterconnectBW = res.Sample.Rates().Interconnect
 	}
 
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("machine: generated description invalid: %w", err)
+		return nil, quality, fmt.Errorf("machine: generated description invalid: %w", err)
 	}
-	return d, nil
+	return d, quality, nil
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"pandia/internal/faults"
 	"pandia/internal/simhw"
 	"pandia/internal/topology"
 )
@@ -123,6 +124,50 @@ func TestValidate(t *testing.T) {
 		if d.Validate() == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+// TestDescribeWithRobustUnderFaults generates a description through a fault
+// injector: the robust policy lands near the fault-free capacities and
+// reports its retries, while the zero policy is a bit-identical pass-through.
+func TestDescribeWithRobustUnderFaults(t *testing.T) {
+	truth := simhw.X32Truth()
+	truth.NoiseSigma = 0
+	tb, err := simhw.NewTestbed(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Describe(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := faults.New(tb, faults.Uniform(0.25, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, rep, err := DescribeWith(in, faults.Policy{Repeats: 5, MaxRetries: 10})
+	if err != nil {
+		t.Fatalf("robust description failed: %v", err)
+	}
+	within(t, "robust core peak", d.CorePeakInstr, clean.CorePeakInstr, 0.05)
+	within(t, "robust dram", d.DRAMBW, clean.DRAMBW, 0.05)
+	within(t, "robust interconnect", d.InterconnectBW, clean.InterconnectBW, 0.05)
+	if rep.Attempts <= rep.Used || rep.Failures+rep.Invalid+rep.Outliers == 0 {
+		t.Errorf("quality report shows no fault handling at 25%% injection: %+v", rep)
+	}
+
+	// Zero policy through a pass-through injector: bit-identical.
+	passthrough, _ := faults.New(tb, faults.Config{})
+	same, rep0, err := DescribeWith(passthrough, faults.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *same != *clean {
+		t.Errorf("zero policy changed the description:\n got %+v\nwant %+v", same, clean)
+	}
+	if rep0.Failures != 0 || rep0.Used != rep0.Attempts {
+		t.Errorf("zero-policy report %+v", rep0)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"pandia/internal/core"
+	"pandia/internal/counters"
 	"pandia/internal/machine"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
@@ -124,6 +125,12 @@ func (s *Scheduler) Submit(job Job) (*Assignment, error) {
 	}
 	if err := job.Workload.Validate(); err != nil {
 		return nil, err
+	}
+	if job.Workload.Demand == (counters.Rates{}) {
+		return nil, fmt.Errorf("scheduler: job %q has an empty demand vector; profile the workload before submission", job.ID)
+	}
+	if job.Threads < 0 {
+		return nil, fmt.Errorf("scheduler: job %q requests %d threads", job.ID, job.Threads)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

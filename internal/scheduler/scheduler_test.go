@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"pandia/internal/core"
@@ -111,6 +112,52 @@ func TestSubmitValidation(t *testing.T) {
 	big.Threads = 1000
 	if _, err := s.Submit(big); err == nil {
 		t.Error("oversized job accepted")
+	}
+}
+
+// TestSubmitAdmissionTable tables malformed job descriptions against
+// Submit: every one must be rejected, with an error naming the defect, and
+// must leave the scheduler's free-context pool untouched.
+func TestSubmitAdmissionTable(t *testing.T) {
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.Machine().TotalContexts()
+	mutate := func(f func(*core.Workload)) Job {
+		j := computeJob("bad")
+		f(j.Workload)
+		return j
+	}
+	cases := []struct {
+		name string
+		job  Job
+	}{
+		{"zero t1", mutate(func(w *core.Workload) { w.T1 = 0 })},
+		{"negative t1", mutate(func(w *core.Workload) { w.T1 = -5 })},
+		{"NaN t1", mutate(func(w *core.Workload) { w.T1 = math.NaN() })},
+		{"p above 1", mutate(func(w *core.Workload) { w.ParallelFrac = 1.2 })},
+		{"negative p", mutate(func(w *core.Workload) { w.ParallelFrac = -0.1 })},
+		{"NaN p", mutate(func(w *core.Workload) { w.ParallelFrac = math.NaN() })},
+		{"Inf demand", mutate(func(w *core.Workload) { w.Demand.DRAM = math.Inf(1) })},
+		{"negative demand", mutate(func(w *core.Workload) { w.Demand.L1 = -3 })},
+		{"empty demand", mutate(func(w *core.Workload) { w.Demand = counters.Rates{} })},
+		{"negative threads", func() Job { j := computeJob("bad"); j.Threads = -1; return j }()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := s.Submit(c.job); err == nil {
+				t.Fatalf("%s admitted", c.name)
+			}
+			if got := len(s.FreeContexts()); got != total {
+				t.Fatalf("rejected job leaked contexts: %d free, want %d", got, total)
+			}
+		})
+	}
+	// The same description, intact, is admissible — the table rejects the
+	// defects, not the workload.
+	if _, err := s.Submit(computeJob("good")); err != nil {
+		t.Fatalf("intact job rejected: %v", err)
 	}
 }
 

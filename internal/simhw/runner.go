@@ -1,0 +1,20 @@
+package simhw
+
+import "pandia/internal/topology"
+
+// Runner is the execution surface the profiling pipeline consumes: anything
+// that can perform runs on one machine and expose its OS-visible shape. The
+// real Testbed implements it directly; fault-injection wrappers
+// (internal/faults) interpose on it to perturb every observation the
+// pipeline sees without the consumers knowing.
+type Runner interface {
+	// Run executes one run and returns its measured time and counters.
+	Run(cfg RunConfig) (RunResult, error)
+	// Machine returns the OS-visible shape of the machine.
+	Machine() topology.Machine
+	// L3SizeMB returns the per-socket last-level cache capacity.
+	L3SizeMB() float64
+}
+
+// Testbed satisfies Runner by construction.
+var _ Runner = (*Testbed)(nil)

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"pandia/internal/core"
+	"pandia/internal/faults"
 	"pandia/internal/machine"
 	"pandia/internal/placement"
 	"pandia/internal/simhw"
@@ -28,6 +29,9 @@ type RunRecord struct {
 	Stressors int
 	// Time is the measured wall-clock duration.
 	Time float64
+	// Report is the quality record of this step's measurement (attempts,
+	// failures, rejected outliers, virtual cost).
+	Report faults.Report
 }
 
 // Profile is the outcome of profiling one workload on one machine.
@@ -36,20 +40,29 @@ type Profile struct {
 	Workload core.Workload
 	// Runs lists the profiling runs performed.
 	Runs []RunRecord
-	// Cost is the total machine time spent profiling, used by the sweep
+	// Cost is the total machine time spent profiling — including retries,
+	// hung-run deadlines, and backoff charges — used by the sweep
 	// comparison of §6.3.
 	Cost float64
+	// Quality rolls the per-step measurement reports up over the whole
+	// profile.
+	Quality faults.Report
 }
 
-// Profiler orchestrates the six profiling runs on a testbed.
+// Profiler orchestrates the six profiling runs on a testbed (or any runner
+// wrapping one, such as a fault injector).
 type Profiler struct {
 	// TB is the machine the workload runs on.
-	TB *simhw.Testbed
+	TB simhw.Runner
 	// MD is the machine's description, used to size run 2 and to compute
 	// the partial-model known factors.
 	MD *machine.Description
 	// Seed perturbs the testbed's measurement noise.
 	Seed int64
+	// Policy selects repeated measurement with retry and outlier rejection
+	// for every profiling step. The zero value is the original single-shot
+	// fail-fast behaviour, bit-identical to the unhardened pipeline.
+	Policy faults.Policy
 }
 
 // Profile runs the six profiling steps for the workload and assembles its
@@ -63,20 +76,22 @@ func (p *Profiler) Profile(truth simhw.WorkloadTruth) (*Profile, error) {
 	w := &out.Workload
 
 	run := func(step int, place placement.Placement, stressors []simhw.PlacedStressor) (simhw.RunResult, error) {
-		res, err := p.TB.Run(simhw.RunConfig{
+		res, rep, err := faults.Measure(p.TB, simhw.RunConfig{
 			Workload:  truth,
 			Placement: place,
 			Stressors: stressors,
 			Power:     simhw.PowerFilled,
 			Seed:      p.Seed,
-		})
+		}, p.Policy)
+		out.Quality.Merge(rep)
+		out.Cost += rep.Cost
 		if err != nil {
 			return res, fmt.Errorf("workload: profiling run %d of %q: %w", step, truth.Name, err)
 		}
 		out.Runs = append(out.Runs, RunRecord{
 			Step: step, Placement: place, Stressors: len(stressors), Time: res.Time,
+			Report: rep,
 		})
-		out.Cost += res.Time
 		return res, nil
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"pandia/internal/core"
 	"pandia/internal/counters"
+	"pandia/internal/faults"
 	"pandia/internal/machine"
 	"pandia/internal/simhw"
 )
@@ -218,6 +219,86 @@ func TestProfilerValidation(t *testing.T) {
 	p := &Profiler{}
 	if _, err := p.Profile(paperToy()); err == nil {
 		t.Error("profiler without testbed accepted")
+	}
+}
+
+// TestProfileRobustUnderFaults profiles through a fault injector: the
+// single-shot profiler dies on the first injected failure for at least one
+// seed, while the robust policy completes and lands near the fault-free
+// parameters, reporting its retries.
+func TestProfileRobustUnderFaults(t *testing.T) {
+	p := newProfiler(t, simhw.X32Truth())
+	truth := simhw.WorkloadTruth{
+		Name: "robust-target", SeqTime: 80, ParallelFrac: 0.95,
+		Demand:   counters.Rates{Instr: 2, L1: 20, L2: 12, L3: 9, DRAM: 5.5},
+		CommCost: 0.01, LoadBalance: 0.7, Burstiness: 0.3,
+		WorkingSetMB: 2, MemBoundFrac: 0.8,
+	}
+	clean, err := p.Profile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tb := p.TB
+	in, err := faults.New(tb, faults.Uniform(0.25, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-shot through the injector: scan seeds until a fault lands in
+	// the six-run window (deterministic, so this cannot flake).
+	naiveDied := false
+	for seed := int64(0); seed < 20 && !naiveDied; seed++ {
+		naive := &Profiler{TB: in, MD: p.MD, Seed: seed}
+		if _, err := naive.Profile(truth); err != nil {
+			naiveDied = true
+		}
+	}
+	if !naiveDied {
+		t.Error("25% fault rate never killed the single-shot profiler in 20 seeds")
+	}
+
+	robust := &Profiler{TB: in, MD: p.MD, Policy: faults.Policy{Repeats: 7, MaxRetries: 14, MADCutoff: 2.5}}
+	prof, err := robust.Profile(truth)
+	if err != nil {
+		t.Fatalf("robust profiling failed: %v", err)
+	}
+	if math.Abs(prof.Workload.ParallelFrac-clean.Workload.ParallelFrac) > 0.1 {
+		t.Errorf("robust p = %g, clean %g", prof.Workload.ParallelFrac, clean.Workload.ParallelFrac)
+	}
+	if rel := math.Abs(prof.Workload.T1-clean.Workload.T1) / clean.Workload.T1; rel > 0.1 {
+		t.Errorf("robust t1 = %g, clean %g", prof.Workload.T1, clean.Workload.T1)
+	}
+	if prof.Quality.Attempts <= len(prof.Runs) {
+		t.Errorf("quality report did not count retries: %+v", prof.Quality)
+	}
+	if prof.Cost <= clean.Cost {
+		t.Errorf("robust cost %g not above clean single-shot cost %g", prof.Cost, clean.Cost)
+	}
+}
+
+// TestProfileZeroPolicyUnchanged pins the hardened profiler's zero-policy
+// path to the original single-shot behaviour, bit for bit.
+func TestProfileZeroPolicyUnchanged(t *testing.T) {
+	p := newProfiler(t, simhw.ToyTruth())
+	a, err := p.Profile(paperToy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := faults.New(p.TB, faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &Profiler{TB: in, MD: p.MD}
+	b, err := wrapped.Profile(paperToy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload != b.Workload || a.Cost != b.Cost {
+		t.Errorf("zero policy through pass-through injector changed the profile:\n%+v\n%+v", a, b)
+	}
+	if b.Quality.Attempts != len(b.Runs) || b.Quality.Failures != 0 {
+		t.Errorf("zero-policy quality report %+v", b.Quality)
 	}
 }
 
