@@ -1,7 +1,7 @@
 // Command pandia-vet is the repository's static-analysis multichecker. It
-// runs the custom passes under internal/analysis — unitcheck, detlint,
-// nanguard, mutcheck, errlint — over module packages and exits non-zero if
-// any finding is reported.
+// runs the custom passes under internal/analysis — unitcheck, unitflow,
+// lockcheck, leakcheck, detlint, nanguard, mutcheck, errlint — over module
+// packages and exits non-zero if any finding is reported.
 //
 // Usage:
 //
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +25,19 @@ import (
 	"pandia/internal/analysis"
 	"pandia/internal/analysis/detlint"
 	"pandia/internal/analysis/errlint"
+	"pandia/internal/analysis/leakcheck"
+	"pandia/internal/analysis/lockcheck"
 	"pandia/internal/analysis/mutcheck"
 	"pandia/internal/analysis/nanguard"
 	"pandia/internal/analysis/unitcheck"
+	"pandia/internal/analysis/unitflow"
 )
 
 var analyzers = []*analysis.Analyzer{
 	unitcheck.Analyzer,
+	unitflow.Analyzer,
+	lockcheck.Analyzer,
+	leakcheck.Analyzer,
 	detlint.Analyzer,
 	nanguard.Analyzer,
 	mutcheck.Analyzer,
@@ -44,6 +51,7 @@ func main() {
 		list    = flag.Bool("list", false, "list the analyzers and exit")
 		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 		verbose = flag.Bool("v", false, "print each package as it is checked")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout instead of text")
 	)
 	flag.Parse()
 
@@ -90,6 +98,7 @@ func main() {
 	}
 
 	findings := 0
+	var report []jsonDiagnostic
 	for _, path := range pkgs {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -116,14 +125,47 @@ func main() {
 				if rerr != nil {
 					rel = pos.Filename
 				}
-				fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, a.Name, d.Message)
+				if *jsonOut {
+					report = append(report, jsonDiagnostic{
+						File:     filepath.ToSlash(rel),
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Analyzer: a.Name,
+						Package:  path,
+						Message:  d.Message,
+					})
+				} else {
+					fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, a.Name, d.Message)
+				}
 				findings++
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if report == nil {
+			report = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+			os.Exit(2)
 		}
 	}
 	if findings > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json wire format: one finding per element, with the
+// file path relative to the module root.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Message  string `json:"message"`
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

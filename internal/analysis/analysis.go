@@ -56,6 +56,10 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Deps holds the module-local dependency packages (with syntax), keyed
+	// by import path, so passes can read annotations declared in dependency
+	// sources. May be nil; standard-library imports never appear.
+	Deps map[string]*Package
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -122,6 +126,7 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 		Report:    func(d Diagnostic) { ds = append(ds, d) },
+		Deps:      pkg.Imports,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)

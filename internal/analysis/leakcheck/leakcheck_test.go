@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", leakcheck.Analyzer, "a")
+}

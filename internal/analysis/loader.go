@@ -25,6 +25,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports maps the import paths of module-local (and fixture)
+	// dependencies to their loaded packages, giving flow-sensitive passes
+	// access to annotations declared in dependency sources. Standard-library
+	// imports are resolved without retaining syntax and do not appear here.
+	Imports map[string]*Package
 }
 
 // Loader parses and type-checks packages without external dependencies.
@@ -145,6 +150,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 	}
 	var typeErrs []error
+	imports := make(map[string]*Package)
 	conf := types.Config{
 		Importer: importerFunc(func(importPath string) (*types.Package, error) {
 			if importPath == "unsafe" {
@@ -155,6 +161,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 				if err != nil {
 					return nil, err
 				}
+				imports[importPath] = dep
 				return dep.Types, nil
 			}
 			return l.std.ImportFrom(importPath, dir, 0)
@@ -165,7 +172,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, Imports: imports}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

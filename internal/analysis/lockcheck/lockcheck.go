@@ -1,0 +1,408 @@
+// Package lockcheck is the mutex-discipline pass of pandia-vet, built on the
+// dataflow engine: it tracks the definite lock state of every sync.Mutex /
+// sync.RWMutex path (receiver expression, e.g. "s.mu") through each
+// function's CFG.
+//
+// Reported:
+//   - a second Lock of a mutex that is definitely held (self-deadlock), and
+//     Lock while RLock-ed (upgrade deadlock);
+//   - Unlock of an RLock-ed mutex and RUnlock of a write-locked one;
+//   - returning while a mutex is definitely held with no deferred unlock on
+//     record (missing unlock on an early-return path);
+//   - channel sends and receives while a mutex is definitely held — blocking
+//     on a channel under a lock stalls every other thread of the scheduler;
+//   - copying a value whose type contains a mutex (assignment, argument,
+//     or return of a lock-bearing value).
+//
+// The analysis is intraprocedural and deliberately conservative: only
+// *definite* states survive a CFG join, so conditionally-held locks are
+// never reported. A finding can be suppressed with //lockcheck:ok.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pandia/internal/analysis"
+	"pandia/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "mutex discipline via dataflow: double/upgrade locks, wrong-flavour or missing " +
+		"unlocks on return paths, channel operations under a held lock, and lock copies",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, suppress: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		lines := analysis.LineComments(pass.Fset, f)
+		m := make(map[int]bool)
+		for line, text := range lines {
+			if strings.Contains(text, "lockcheck:ok") {
+				m[line] = true
+			}
+		}
+		c.suppress[pass.Fset.Position(f.Pos()).Filename] = m
+	}
+	for _, f := range pass.Files {
+		for _, fn := range dataflow.Functions(f) {
+			c.checkFunc(fn)
+		}
+		c.checkCopies(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	suppress map[string]map[int]bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	p := c.pass.Fset.Position(pos)
+	if m, ok := c.suppress[p.Filename]; ok && m[p.Line] {
+		return
+	}
+	if c.pass.IsTestFile(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// Lock states.
+const (
+	modeLocked uint8 = iota + 1
+	modeRLocked
+)
+
+type lockInfo struct {
+	mode uint8
+	pos  token.Pos // acquisition site
+	// deferred records that an unlock for this path has been registered with
+	// defer on every path reaching here.
+	deferred bool
+}
+
+// lockFact maps mutex paths to their definite state; nil is bottom, paths
+// not present are in an unknown state.
+type lockFact map[string]lockInfo
+
+func cloneFact(f lockFact) lockFact {
+	if f == nil {
+		return nil
+	}
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+type lattice struct{ c *checker }
+
+func (l lattice) Bottom() dataflow.Fact   { return lockFact(nil) }
+func (l lattice) Boundary() dataflow.Fact { return lockFact{} }
+
+func (l lattice) Join(a, b dataflow.Fact) dataflow.Fact {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if fa == nil {
+		return cloneFact(fb)
+	}
+	if fb == nil {
+		return cloneFact(fa)
+	}
+	out := lockFact{}
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok && va.mode == vb.mode {
+			out[k] = lockInfo{mode: va.mode, pos: va.pos, deferred: va.deferred && vb.deferred}
+		}
+		// Held on one path only: state is no longer definite — drop.
+	}
+	return out
+}
+
+func (l lattice) Equal(a, b dataflow.Fact) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if (fa == nil) != (fb == nil) || len(fa) != len(fb) {
+		return false
+	}
+	for k, va := range fa {
+		vb, ok := fb[k]
+		if !ok || va.mode != vb.mode || va.deferred != vb.deferred {
+			return false
+		}
+	}
+	return true
+}
+
+func (l lattice) Transfer(b *dataflow.Block, in dataflow.Fact) dataflow.Fact {
+	f := cloneFact(in.(lockFact))
+	if f == nil {
+		return lockFact(nil) // unreachable stays unreachable
+	}
+	for _, n := range b.Nodes {
+		l.c.execNode(n, f, false)
+	}
+	return f
+}
+
+func (c *checker) checkFunc(fn dataflow.Function) {
+	g := dataflow.New(fn.Body)
+	res := dataflow.Solve(g, lattice{c}, dataflow.Forward)
+	for _, b := range g.Blocks {
+		f := cloneFact(res.In[b].(lockFact))
+		if f == nil {
+			continue // unreachable code
+		}
+		for _, n := range b.Nodes {
+			c.execNode(n, f, true)
+		}
+	}
+}
+
+// execNode applies one CFG node to the lock fact, reporting on the final
+// replay only.
+func (c *checker) execNode(n ast.Node, f lockFact, report bool) {
+	// Channel operations under a definitely-held lock.
+	if report && len(f) > 0 {
+		if pos, kind, ok := chanOp(n); ok {
+			for path, info := range f {
+				_ = info
+				c.report(pos, "channel %s while %s is held", kind, path)
+			}
+		}
+	}
+
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if path, name, ok := c.mutexCall(n.Call); ok {
+			switch name {
+			case "Unlock", "RUnlock":
+				if info, held := f[path]; held {
+					info.deferred = true
+					f[path] = info
+				}
+			}
+		}
+		return
+	case *ast.ReturnStmt:
+		if report {
+			for path, info := range f {
+				if !info.deferred {
+					c.report(n.Pos(), "return while %s is locked (no deferred unlock)", path)
+				}
+			}
+		}
+	}
+
+	// Find mutex method calls anywhere inside the node (but not inside
+	// function literals, which have their own CFGs).
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := c.mutexCall(call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock":
+			if info, held := f[path]; held && report {
+				switch info.mode {
+				case modeLocked:
+					c.report(call.Pos(), "second Lock of %s (already locked)", path)
+				case modeRLocked:
+					c.report(call.Pos(), "Lock of %s while RLock-ed (upgrade deadlock)", path)
+				}
+			}
+			f[path] = lockInfo{mode: modeLocked, pos: call.Pos()}
+		case "RLock":
+			if info, held := f[path]; held && report && info.mode == modeLocked {
+				c.report(call.Pos(), "RLock of %s while Lock-ed (self-deadlock)", path)
+			}
+			f[path] = lockInfo{mode: modeRLocked, pos: call.Pos()}
+		case "Unlock":
+			if info, held := f[path]; held && report && info.mode == modeRLocked {
+				c.report(call.Pos(), "Unlock of RLock-ed %s (want RUnlock)", path)
+			}
+			delete(f, path)
+		case "RUnlock":
+			if info, held := f[path]; held && report && info.mode == modeLocked {
+				c.report(call.Pos(), "RUnlock of Lock-ed %s (want Unlock)", path)
+			}
+			delete(f, path)
+		case "TryLock", "TryRLock":
+			delete(f, path) // state depends on the result: unknown
+		}
+		return true
+	})
+}
+
+// chanOp recognises a blocking channel operation at the top of a CFG node.
+func chanOp(n ast.Node) (token.Pos, string, bool) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return n.Arrow, "send", true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return n.OpPos, "receive", true
+		}
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.OpPos, "receive", true
+			}
+		}
+	case *ast.ExprStmt:
+		return chanOp(n.X)
+	}
+	return token.NoPos, "", false
+}
+
+// mutexCall matches a call of Lock/Unlock/RLock/RUnlock/TryLock/TryRLock on
+// a sync.Mutex or sync.RWMutex and returns the canonical receiver path.
+func (c *checker) mutexCall(call *ast.CallExpr) (path, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	t := c.typeOf(sel.X)
+	if !isMutexType(t) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// one of them.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsMutex reports whether a value of type t embeds a mutex by value
+// (directly or through struct/array nesting).
+func containsMutex(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if isMutexType(t) {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkCopies flags copies of lock-bearing values: assignment from an
+// existing value, by-value arguments, and by-value returns. Fresh composite
+// literals and calls produce new values and are fine.
+func (c *checker) checkCopies(file *ast.File) {
+	copySource := func(e ast.Expr) bool {
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return containsMutex(c.typeOf(e), 0)
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				// `_ = v` is the idiomatic "mark used" form, not a real copy.
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if copySource(r) {
+					c.report(r.Pos(), "assignment copies lock value: %s contains a mutex", types.ExprString(r))
+				}
+			}
+		case *ast.CallExpr:
+			if isMutexMethod(n) {
+				return true
+			}
+			for _, a := range n.Args {
+				if copySource(a) {
+					c.report(a.Pos(), "call passes lock by value: %s contains a mutex", types.ExprString(a))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if copySource(r) {
+					c.report(r.Pos(), "return copies lock value: %s contains a mutex", types.ExprString(r))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := c.typeOf(n.Value)
+				if t == nil {
+					// := defined range variables are in Defs, not Types.
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+				}
+				if containsMutex(t, 0) {
+					c.report(n.Value.Pos(), "range copies lock value: %s contains a mutex", types.ExprString(n.Value))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMutexMethod spares `m.Lock()`-style calls from the by-value argument
+// check (they have no arguments anyway, but conversions like
+// sync.OnceFunc(f) should not trip over receivers either).
+func isMutexMethod(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel != nil && len(call.Args) == 0
+}

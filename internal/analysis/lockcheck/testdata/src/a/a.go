@@ -1,0 +1,106 @@
+package a
+
+// Fixture for lockcheck: double/upgrade locks, wrong-flavour and missing
+// unlocks, channel operations under a held lock, and lock-value copies.
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+func okDefer(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+func okPaired(s *store) {
+	s.mu.Lock()
+	s.vals["x"] = 1
+	s.mu.Unlock()
+}
+
+func okConditional(s *store, c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	// State is not definite after the join: nothing reported.
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+func doubleLock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want `second Lock of s\.mu \(already locked\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func upgrade(s *store) {
+	s.rw.RLock()
+	s.rw.Lock() // want `Lock of s\.rw while RLock-ed \(upgrade deadlock\)`
+	s.rw.Unlock()
+}
+
+func wrongFlavour(s *store) {
+	s.rw.RLock()
+	s.rw.Unlock() // want `Unlock of RLock-ed s\.rw \(want RUnlock\)`
+	s.rw.Lock()
+	s.rw.RUnlock() // want `RUnlock of Lock-ed s\.rw \(want Unlock\)`
+}
+
+func earlyReturn(s *store, bad bool) int {
+	s.mu.Lock()
+	if bad {
+		return 0 // want `return while s\.mu is locked \(no deferred unlock\)`
+	}
+	v := s.vals["x"]
+	s.mu.Unlock()
+	return v
+}
+
+func chanUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send while s\.mu is held`
+	v := <-ch // want `channel receive while s\.mu is held`
+	s.vals["x"] = v
+	s.mu.Unlock()
+}
+
+func chanAfterUnlock(s *store, ch chan int) {
+	s.mu.Lock()
+	s.vals["x"] = 1
+	s.mu.Unlock()
+	ch <- 1 // ok: lock released
+}
+
+func suppressedReturn(s *store) {
+	s.mu.Lock()
+	//lockcheck:ok
+	return
+}
+
+func copyLock(s *store) store {
+	other := *s // want `assignment copies lock value: \*s contains a mutex`
+	use(*s)     // want `call passes lock by value: \*s contains a mutex`
+	return other // want `return copies lock value: other contains a mutex`
+}
+
+func use(v store) { _ = v }
+
+func copyFresh() store {
+	// Fresh composite literals carry an unused mutex: fine.
+	v := store{vals: map[string]int{}}
+	_ = v
+	return store{}
+}
+
+func rangeCopy(list []store) {
+	for _, v := range list { // want `range copies lock value: v contains a mutex`
+		_ = v
+	}
+}

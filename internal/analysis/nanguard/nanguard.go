@@ -393,7 +393,12 @@ func (c *checker) constValue(e ast.Expr) *constant.Value {
 	if !ok || tv.Value == nil {
 		return nil
 	}
-	return &tv.Value
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return &tv.Value
+	}
+	// String/bool/complex comparisons carry no sign information.
+	return nil
 }
 
 // condGuards extracts the guards implied by cond being true (negated=false)

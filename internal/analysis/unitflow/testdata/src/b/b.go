@@ -1,0 +1,14 @@
+package b
+
+// Cross-package fixture: annotations declared in package a must be visible
+// when analysing package b (the module-local import closure carries syntax).
+
+import "a"
+
+func badCross(s a.Sample) float64 {
+	return s.Rate() + s.Elapsed // want `unit mismatch: s\.Rate\(\) \(bytes/sec\) \+ s\.Elapsed \(seconds\)`
+}
+
+func okCross(s a.Sample) float64 {
+	return s.Rate() * s.Elapsed // bytes again
+}

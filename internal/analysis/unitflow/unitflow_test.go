@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/unitflow"
+)
+
+func TestUnitflow(t *testing.T) {
+	analysistest.Run(t, "testdata", unitflow.Analyzer, "a", "b")
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"pandia/internal/analysis/leaktest"
 	"pandia/internal/bench"
 )
 
@@ -121,6 +122,7 @@ func TestCurveQuality(t *testing.T) {
 }
 
 func TestCurveCaching(t *testing.T) {
+	defer leaktest.Check(t)()
 	h := x32Harness(t)
 	e, _ := bench.ByName("EP")
 	a, err := h.MeasureAll(e)

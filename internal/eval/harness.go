@@ -91,33 +91,39 @@ func NewHarness(key string, maxPlacements int, seed int64) (*Harness, error) {
 	}, nil
 }
 
+// cachedProfile fetches a cached profile under the lock.
+func (h *Harness) cachedProfile(name string) (*workload.Profile, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.profiles[name]
+	return p, ok
+}
+
+func (h *Harness) storeProfile(name string, p *workload.Profile) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.profiles[name] = p
+}
+
 // Profile returns the workload's six-run profile, cached per workload.
 func (h *Harness) Profile(e bench.Entry) (*workload.Profile, error) {
-	h.mu.Lock()
-	if p, ok := h.profiles[e.Name]; ok {
-		h.mu.Unlock()
+	if p, ok := h.cachedProfile(e.Name); ok {
 		return p, nil
 	}
-	h.mu.Unlock()
 	prof, err := (&workload.Profiler{TB: h.TB, MD: h.MD, Seed: h.Seed}).Profile(e.Truth)
 	if err != nil {
 		return nil, err
 	}
-	h.mu.Lock()
-	h.profiles[e.Name] = prof
-	h.mu.Unlock()
+	h.storeProfile(e.Name, prof)
 	return prof, nil
 }
 
 // MeasureAll runs the workload on every evaluation shape, returning times
 // aligned with h.Shapes. Results are cached per workload.
 func (h *Harness) MeasureAll(e bench.Entry) ([]float64, error) {
-	h.mu.Lock()
-	if m, ok := h.measured[e.Name]; ok {
-		h.mu.Unlock()
+	if m, ok := h.cachedMeasurement(e.Name); ok {
 		return m, nil
 	}
-	h.mu.Unlock()
 
 	times := make([]float64, len(h.Shapes))
 	topo := h.TB.Machine()
@@ -137,10 +143,22 @@ func (h *Harness) MeasureAll(e bench.Entry) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.mu.Lock()
-	h.measured[e.Name] = times
-	h.mu.Unlock()
+	h.storeMeasurement(e.Name, times)
 	return times, nil
+}
+
+// cachedMeasurement fetches cached shape timings under the lock.
+func (h *Harness) cachedMeasurement(name string) ([]float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.measured[name]
+	return m, ok
+}
+
+func (h *Harness) storeMeasurement(name string, times []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.measured[name] = times
 }
 
 // PredictAll predicts the workload on every evaluation shape using the
@@ -258,13 +276,14 @@ func parallelEach(n int, fn func(i int) error) error {
 		mu    sync.Mutex
 		first error
 	)
-	idx := make(chan int, workers)
-	go func() {
-		for i := 0; i < n; i++ {
-			idx <- i
-		}
-		close(idx)
-	}()
+	// Fill the work queue up front and close it: a feeder goroutine would
+	// block forever on an unbuffered send if a worker bails out early on
+	// error, leaking one goroutine per failed run (found by leakcheck).
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"testing"
 
+	"pandia/internal/analysis/leaktest"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -21,6 +22,7 @@ func pandiaCtx(s0, c, t0 int) topology.Context {
 // sibling contexts in place. The advisor earns its keep when a job was
 // admitted into a forced bad shape under crowding.
 func TestRebalanceRecoversFromBadPlacement(t *testing.T) {
+	defer leaktest.Check(t)()
 	s, err := New(testMD(t), Config{})
 	if err != nil {
 		t.Fatal(err)

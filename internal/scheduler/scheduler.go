@@ -231,7 +231,18 @@ func (s *Scheduler) Remove(jobID string) error {
 
 // Predict re-predicts the whole running mix jointly (for monitoring).
 func (s *Scheduler) Predict() (*core.CoPrediction, error) {
+	jobs := s.snapshotJobs()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("scheduler: nothing running")
+	}
+	return core.PredictCoSchedule(s.md, jobs, core.Options{})
+}
+
+// snapshotJobs copies the running mix, in deterministic job-ID order, under
+// the lock.
+func (s *Scheduler) snapshotJobs() []core.PlacedWorkload {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	jobs := make([]core.PlacedWorkload, 0, len(s.running))
 	ids := make([]string, 0, len(s.running))
 	for id := range s.running {
@@ -242,11 +253,7 @@ func (s *Scheduler) Predict() (*core.CoPrediction, error) {
 		a := s.running[id]
 		jobs = append(jobs, core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement})
 	}
-	s.mu.Unlock()
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("scheduler: nothing running")
-	}
-	return core.PredictCoSchedule(s.md, jobs, core.Options{})
+	return jobs
 }
 
 // candidateCounts resolves the thread-count ladder for a job.

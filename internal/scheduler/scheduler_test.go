@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"pandia/internal/analysis/leaktest"
 	"pandia/internal/core"
 	"pandia/internal/counters"
 	"pandia/internal/machine"
@@ -51,6 +52,7 @@ func memoryJob(id string) Job {
 }
 
 func TestSubmitAndRemove(t *testing.T) {
+	defer leaktest.Check(t)()
 	s, err := New(testMD(t), Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -248,6 +250,7 @@ func TestAdmissionControl(t *testing.T) {
 }
 
 func TestPredictRunningMix(t *testing.T) {
+	defer leaktest.Check(t)()
 	s, err := New(testMD(t), Config{})
 	if err != nil {
 		t.Fatal(err)

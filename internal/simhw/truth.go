@@ -35,41 +35,41 @@ type MachineTruth struct {
 	// socket are active, TurboAllGHz when every core is active; the testbed
 	// interpolates linearly in the active-core count. NominalGHz applies
 	// when Turbo Boost is disabled.
-	NominalGHz  float64
-	TurboMaxGHz float64
-	TurboAllGHz float64
+	NominalGHz  float64 //pandia:unit hertz
+	TurboMaxGHz float64 //pandia:unit hertz
+	TurboAllGHz float64 //pandia:unit hertz
 
 	// CoreInstrRate is the peak instruction throughput of one core at the
 	// reference frequency with a single hardware thread active.
-	CoreInstrRate float64
+	CoreInstrRate float64 //pandia:unit instructions/sec
 	// SMTAggFactor is the total instruction throughput of a core running
 	// two hardware threads, relative to one (e.g. 1.25: two threads issue
 	// 25% more than one, so each achieves ~62.5% of solo speed).
-	SMTAggFactor float64
+	SMTAggFactor float64 //pandia:unit ratio
 
 	// Per-core link bandwidths (scale with core frequency).
-	L1BW     float64
-	L2BW     float64
-	L3LinkBW float64
+	L1BW     float64 //pandia:unit bytes/sec
+	L2BW     float64 //pandia:unit bytes/sec
+	L3LinkBW float64 //pandia:unit bytes/sec
 	// Per-socket capacities.
-	L3AggBW float64
-	DRAMBW  float64
+	L3AggBW float64 //pandia:unit bytes/sec
+	DRAMBW  float64 //pandia:unit bytes/sec
 	// Per-socket-pair interconnect link bandwidth.
-	InterconnectBW float64
+	InterconnectBW float64 //pandia:unit bytes/sec
 
 	// L3SizeMB is the last-level cache capacity per socket, used by the
 	// spill model. Zero disables spill (the toy machine has no caches).
-	L3SizeMB float64
+	L3SizeMB float64 //pandia:unit bytes
 	// AdaptiveCache selects the smooth spill response of modern adaptive
 	// caches; false selects the sharper cliff of older parts (Westmere).
 	AdaptiveCache bool
 
 	// QueueFactor is the strength of the non-linear latency term near and
 	// beyond bandwidth saturation. Zero gives the idealised linear model.
-	QueueFactor float64
+	QueueFactor float64 //pandia:unit ratio
 	// NoiseSigma is the standard deviation of the multiplicative log-normal
 	// run-time measurement noise.
-	NoiseSigma float64
+	NoiseSigma float64 //pandia:unit ratio
 }
 
 // Validate reports whether the truth is internally consistent.
@@ -113,34 +113,34 @@ type WorkloadTruth struct {
 
 	// SeqTime is the single-thread execution time (seconds) at the
 	// reference frequency, absent any contention.
-	SeqTime float64
+	SeqTime float64 //pandia:unit seconds
 	// ParallelFrac is the true Amdahl parallel fraction p.
-	ParallelFrac float64
+	ParallelFrac float64 //pandia:unit ratio
 	// Demand is the per-thread resource demand vector at full speed. The
 	// Interconnect component is ignored: interconnect traffic is derived
 	// from DRAM demand and memory placement.
 	Demand counters.Rates
 	// WorkingSetMB is the per-thread hot working set, driving L3 spill.
-	WorkingSetMB float64
+	WorkingSetMB float64 //pandia:unit bytes
 	// CommCost is the true per-remote-peer latency overhead, relative to
 	// SeqTime (the quantity Pandia estimates as os, §4.3).
-	CommCost float64
+	CommCost float64 //pandia:unit ratio
 	// LoadBalance is the true dynamic load-balancing factor l in [0,1].
-	LoadBalance float64
+	LoadBalance float64 //pandia:unit ratio
 	// Burstiness is the true core-sharing sensitivity b (§4.5).
-	Burstiness float64
+	Burstiness float64 //pandia:unit ratio
 	// WorkGrowth is the extra total work added per extra thread, as a
 	// fraction of SeqTime (equake's reduction step; zero for conforming
 	// workloads).
-	WorkGrowth float64
+	WorkGrowth float64 //pandia:unit ratio
 	// MemBoundFrac is the fraction of progress limited by the memory system
 	// rather than the core clock; it damps sensitivity to frequency.
-	MemBoundFrac float64
+	MemBoundFrac float64 //pandia:unit ratio
 	// ActiveThreads caps how many placed threads actually perform work
 	// (the single-threaded NPO experiment, §6.3). Zero means all threads.
 	ActiveThreads int
 	// NoiseSigma overrides the machine's measurement noise when positive.
-	NoiseSigma float64
+	NoiseSigma float64 //pandia:unit ratio
 }
 
 // Validate reports whether the workload truth is usable.
