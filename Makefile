@@ -5,10 +5,15 @@
 #   make test    - the plain tier-1 gate (build + tests), as in ROADMAP.md.
 #   make vet     - the custom static analyzers only (cmd/pandia-vet).
 #   make fuzz    - short fuzzing pass over the parser/topology targets.
+#   make bench   - core benchmarks with -benchmem, recorded as the "current"
+#                  run in BENCH_core.json (the "baseline" run stays pinned).
 
 GO ?= go
 
-.PHONY: check test vet pandia-vet fuzz fuzz-smoke build
+# The benchmarks whose trajectory BENCH_core.json tracks.
+BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
+
+.PHONY: check test vet pandia-vet fuzz fuzz-smoke bench bench-smoke build
 
 build:
 	$(GO) build ./...
@@ -39,3 +44,14 @@ fuzz:
 	$(GO) test -fuzz FuzzParseShape -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzShapeExpand -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzMachineJSON -fuzztime 30s ./internal/topology/
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_CORE)' -benchmem . \
+	  | $(GO) run ./cmd/pandia-benchjson -label current -out BENCH_core.json
+
+# bench-smoke is the CI-sized pass: a few iterations of the allocation-
+# sensitive micro-benchmarks, parsed but not recorded, so a broken bench or
+# parser fails the gate without paying for a full measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchtime 5x -benchmem . \
+	  | $(GO) run ./cmd/pandia-benchjson -label smoke -out ''

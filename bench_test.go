@@ -353,12 +353,64 @@ func BenchmarkPredictOnce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Predict(h.MD, &prof.Workload, place, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPredictorReuse measures the steady-state fast path: one pooled
+// Predictor re-predicting a full-machine placement, as every sweep worker
+// does in its hot loop. The allocation report should read 0 allocs/op.
+func BenchmarkPredictorReuse(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	place, err := placement.Spread(h.TB.Machine(), h.TB.Machine().TotalContexts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewPredictor(h.MD, &prof.Workload, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.PredictTime(place); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictTime(place); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictSweep measures the batched fast-path sweep over the
+// harness's whole evaluation placement set (the §6.3 scenario: thousands of
+// candidate placements per workload).
+func BenchmarkPredictSweep(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	places := h.Placements()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PredictSweep(h.MD, &prof.Workload, places, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(places)), "placements")
 }
 
 // BenchmarkTestbedRun measures one ground-truth simulation run.
@@ -370,6 +422,7 @@ func BenchmarkTestbedRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := simhw.RunConfig{Workload: e.Truth, Placement: place}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := h.TB.Run(cfg); err != nil {

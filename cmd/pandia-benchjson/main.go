@@ -1,0 +1,176 @@
+// Command pandia-benchjson parses `go test -bench -benchmem` output from
+// stdin and records it as a labelled run in a JSON file, so the perf
+// trajectory of the core benchmarks is tracked across changes:
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/pandia-benchjson -label current -out BENCH_core.json
+//
+// Runs are keyed by label: recording an existing label replaces that run in
+// place, so "baseline" stays pinned while "current" follows the tree. With
+// -out "" the parsed run is printed and nothing is written (CI smoke mode).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64 `json:"allocsPerOp,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled recording of the benchmark suite.
+type Run struct {
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	Goos  string `json:"goos,omitempty"`
+	Cpu   string `json:"cpu,omitempty"`
+	// Benchmarks is every benchmark parsed from the run, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk shape of BENCH_core.json.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "current", "label to record the run under (an existing label is replaced)")
+	out := flag.String("out", "BENCH_core.json", "JSON file to update; empty prints the run without writing")
+	flag.Parse()
+
+	run, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandia-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	run.Label = *label
+	run.Date = time.Now().UTC().Format("2006-01-02")
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "pandia-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	for _, b := range run.Benchmarks {
+		fmt.Printf("%-32s %12.0f ns/op", b.Name, b.NsPerOp)
+		if b.AllocsPerOp != nil {
+			fmt.Printf(" %10.0f allocs/op", *b.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+
+	if *out == "" {
+		return
+	}
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "pandia-benchjson: %s is not a bench file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = *run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, *run)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandia-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pandia-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d benchmarks as %q in %s\n", len(run.Benchmarks), run.Label, *out)
+}
+
+// parse reads `go test -bench` output and extracts benchmark lines plus the
+// goos/cpu header fields.
+func parse(r *os.File) (*Run, error) {
+	run := &Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.Cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				v := val
+				b.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				b.AllocsPerOp = &v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix Go appends to benchmark names
+// on multi-CPU machines, so names are stable across hosts.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -14,6 +14,7 @@
 //	best        §6.1 table: best-predicted vs best-measured placements
 //	sweep       §6.3 table: packed/spread sweep baseline comparison
 //	noise       robustness: fault-injected profiling, naive vs hardened
+//	throughput  prediction throughput: batched full-zoo sweeps, X5-2
 package main
 
 import (
@@ -112,6 +113,7 @@ func run() error {
 		{"sweep", sweep},
 		{"ablation", ablation},
 		{"noise", noise},
+		{"throughput", throughput},
 	} {
 		if !all && !want[s.name] {
 			continue
@@ -350,6 +352,39 @@ func noise(hc harnessCache, entries []bench.Entry) error {
 	}
 	fmt.Printf("-> %s\n", path)
 	return f.Close()
+}
+
+// throughput measures batched prediction throughput on the X5-2: repeated
+// full-zoo PredictAll sweeps over every enumerated placement, reported as
+// placements predicted per second. Timing lives here rather than in
+// internal/eval because wall-clock reads are confined to cmd/ (detlint).
+func throughput(hc harnessCache, entries []bench.Entry) error {
+	h, err := hc.get("x5-2")
+	if err != nil {
+		return err
+	}
+	const rounds = 3
+	var preds int
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, e := range entries {
+			prof, err := h.Profile(e)
+			if err != nil {
+				return err
+			}
+			ps, err := h.PredictAll(&prof.Workload)
+			if err != nil {
+				return err
+			}
+			preds += len(ps)
+		}
+	}
+	elapsed := time.Since(start)
+	perSec := float64(preds) / elapsed.Seconds()
+	fmt.Printf("%d predictions (%d workloads x %d placements x %d rounds) in %v: %.0f placements/s\n",
+		preds, len(entries), len(h.Placements()), rounds,
+		elapsed.Round(time.Millisecond), perSec)
+	return nil
 }
 
 // sweep regenerates the §6.3 sweep-baseline table over three machines.

@@ -38,6 +38,12 @@ func PredictCoSchedule(md *machine.Description, placed []PlacedWorkload, opt Opt
 	if err != nil {
 		return nil, err
 	}
+	return coPrediction(md, e, opt)
+}
+
+// coPrediction runs the joint iteration on a bound engine and assembles the
+// CoPrediction — the shared tail of PredictCoSchedule and CoPredictor.
+func coPrediction(md *machine.Description, e *engine, opt Options) (*CoPrediction, error) {
 	iters, converged := e.iterate(opt)
 	e.accumulate()
 	loads := e.loadsMap()

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"pandia/internal/machine"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
@@ -112,51 +110,11 @@ type Prediction struct {
 // substitutions. Unrepairable inputs (bad T1, bad topology, bad placement)
 // still return an error.
 func Predict(md *machine.Description, w *Workload, place placement.Placement, opt Options) (*Prediction, error) {
-	var reasons []string
-	if opt.AllowDegraded {
-		if err := w.Validate(); err != nil {
-			wr := *w
-			reasons = append(reasons, wr.Repair()...)
-			w = &wr
-		}
-		if err := md.Validate(); err != nil {
-			mdr := *md
-			reasons = append(reasons, mdr.Repair(w.Demand)...)
-			md = &mdr
-		}
-	}
-	e, err := newEngine(md, []PlacedWorkload{{Workload: w, Placement: place}})
+	p, err := NewPredictor(md, w, opt)
 	if err != nil {
 		return nil, err
 	}
-	iters, converged := e.iterate(opt)
-	var pred *Prediction
-	if !converged && opt.AllowDegraded {
-		// The fixed point did not stabilise: fall back to the contention-free
-		// Amdahl model rather than report a mid-oscillation state.
-		reasons = append(reasons, fmt.Sprintf(
-			"prediction for %q did not converge after %d iterations; Amdahl-only fallback", w.Name, iters))
-		pred = amdahlOnly(w, len(place), iters)
-	} else {
-		e.accumulate() // refresh loads at the converged utilisations
-		pred, err = e.jobs[0].prediction(iters, converged, e.loadsMap())
-		if err != nil {
-			return nil, err
-		}
-		if invariantChecks.Load() && e.invErr != nil {
-			return nil, e.invErr
-		}
-	}
-	if len(reasons) > 0 {
-		pred.Degraded = true
-		pred.DegradedReasons = reasons
-	}
-	if invariantChecks.Load() {
-		if err := CheckInvariants(w, md, pred); err != nil {
-			return nil, err
-		}
-	}
-	return pred, nil
+	return p.Predict(place)
 }
 
 // amdahlOnly builds the degraded fallback prediction: ideal Amdahl scaling

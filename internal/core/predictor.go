@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+)
+
+// Predictor is a reusable prediction pipeline for one workload on one
+// machine. Construction validates (and under Options.AllowDegraded repairs)
+// the machine description and workload once; every subsequent call binds a
+// placement to pre-allocated engine scratch, so the steady state allocates
+// nothing beyond the caller-visible result. PredictTime, which returns a
+// value, allocates nothing at all.
+//
+// A Predictor is not safe for concurrent use: it owns one engine's scratch.
+// Concurrent sweeps use one Predictor per worker (see PredictSweep).
+type Predictor struct {
+	md  *machine.Description
+	w   *Workload
+	opt Options
+	e   *engine
+
+	// baseReasons records the construction-time repairs made under
+	// AllowDegraded; they prefix every prediction's DegradedReasons.
+	baseReasons []string
+
+	// pw is the engine's one-element workload binding, kept inline so
+	// Predict/PredictTime never allocate a slice per call.
+	pw [1]PlacedWorkload
+}
+
+// NewPredictor validates the inputs once and allocates the engine state for
+// repeated predictions of w on md. With opt.AllowDegraded, repairable
+// defects in w or md are fixed on private copies and recorded; they surface
+// as DegradedReasons on every prediction. The caller's w and md are never
+// modified and may not be mutated while the Predictor is in use.
+func NewPredictor(md *machine.Description, w *Workload, opt Options) (*Predictor, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil workload")
+	}
+	var reasons []string
+	if opt.AllowDegraded {
+		if err := w.Validate(); err != nil {
+			wr := *w
+			reasons = append(reasons, wr.Repair()...)
+			w = &wr
+		}
+		if err := md.Validate(); err != nil {
+			mdr := *md
+			reasons = append(reasons, mdr.Repair(w.Demand)...)
+			md = &mdr
+		}
+	}
+	e, err := newEngineState(md)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{md: md, w: w, opt: opt, e: e, baseReasons: reasons}, nil
+}
+
+// Workload returns the workload the predictor was built for (the repaired
+// copy when construction repaired it).
+func (p *Predictor) Workload() *Workload { return p.w }
+
+// Machine returns the machine description the predictor was built for (the
+// repaired copy when construction repaired it).
+func (p *Predictor) Machine() *machine.Description { return p.md }
+
+// Predict runs the full prediction for one placement. The result is
+// identical to core.Predict(md, w, place, opt) — the package-level function
+// is implemented on top of this method.
+func (p *Predictor) Predict(place placement.Placement) (*Prediction, error) {
+	p.pw[0] = PlacedWorkload{Workload: p.w, Placement: place}
+	if err := p.e.bind(p.pw[:], false); err != nil {
+		return nil, err
+	}
+	iters, converged := p.e.iterate(p.opt)
+	reasons := p.baseReasons
+	var pred *Prediction
+	if !converged && p.opt.AllowDegraded {
+		// The fixed point did not stabilise: fall back to the contention-free
+		// Amdahl model rather than report a mid-oscillation state.
+		reasons = append(reasons[:len(reasons):len(reasons)], fmt.Sprintf(
+			"prediction for %q did not converge after %d iterations; Amdahl-only fallback", p.w.Name, iters))
+		pred = amdahlOnly(p.w, len(place), iters)
+	} else {
+		p.e.accumulate() // refresh loads at the converged utilisations
+		var err error
+		pred, err = p.e.jobs[0].prediction(iters, converged, p.e.loadsMap())
+		if err != nil {
+			return nil, err
+		}
+		if invariantChecks.Load() && p.e.invErr != nil {
+			return nil, p.e.invErr
+		}
+	}
+	if len(reasons) > 0 {
+		pred.Degraded = true
+		pred.DegradedReasons = reasons
+	}
+	if invariantChecks.Load() {
+		if err := CheckInvariants(p.w, p.md, pred); err != nil {
+			return nil, err
+		}
+	}
+	return pred, nil
+}
+
+// TimePrediction is the fast path's value-typed result: the converged time
+// and speedup without the per-thread detail vectors or the load map.
+type TimePrediction struct {
+	// Time is the predicted execution time in seconds.
+	Time float64
+	// Speedup is the predicted speedup relative to the single-thread run.
+	Speedup float64
+	// Iterations and Converged describe the refinement loop.
+	Iterations int
+	Converged  bool
+	// Degraded marks a best-effort prediction under Options.AllowDegraded.
+	Degraded bool
+}
+
+// PredictTime predicts one placement and returns only the time and speedup.
+// It runs the identical fixed-point iteration as Predict — Time and Speedup
+// are bit-for-bit the same — but skips assembling the per-thread result
+// vectors and the load map, so the steady state performs zero heap
+// allocations. When the runtime invariant checks are enabled it routes
+// through the full path so the checks see a complete prediction.
+func (p *Predictor) PredictTime(place placement.Placement) (TimePrediction, error) {
+	if invariantChecks.Load() {
+		pred, err := p.Predict(place)
+		if err != nil {
+			return TimePrediction{}, err
+		}
+		return TimePrediction{
+			Time:       pred.Time,
+			Speedup:    pred.Speedup,
+			Iterations: pred.Iterations,
+			Converged:  pred.Converged,
+			Degraded:   pred.Degraded,
+		}, nil
+	}
+	p.pw[0] = PlacedWorkload{Workload: p.w, Placement: place}
+	if err := p.e.bind(p.pw[:], false); err != nil {
+		return TimePrediction{}, err
+	}
+	iters, converged := p.e.iterate(p.opt)
+	if !converged && p.opt.AllowDegraded {
+		sp := p.w.AmdahlSpeedup(len(place))
+		return TimePrediction{
+			Time:       SafeDiv(p.w.T1, sp, p.w.T1),
+			Speedup:    sp,
+			Iterations: iters,
+			Converged:  false,
+			Degraded:   true,
+		}, nil
+	}
+	speedup, err := p.e.jobs[0].speedup()
+	if err != nil {
+		return TimePrediction{}, err
+	}
+	return TimePrediction{
+		Time:       p.w.T1 / speedup, //nanguard:ok speedup() errors unless speedup > 0
+		Speedup:    speedup,
+		Iterations: iters,
+		Converged:  converged,
+		Degraded:   len(p.baseReasons) > 0,
+	}, nil
+}
+
+// sweepChunk is the number of consecutive placements a sweep worker claims
+// per counter increment. Chunking amortises the atomic traffic while staying
+// fine-grained enough to balance uneven placement sizes.
+const sweepChunk = 16
+
+// SweepWorkers returns the worker count PredictSweep would use for n
+// placements: GOMAXPROCS capped at the item count.
+func SweepWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PredictSweep predicts every placement with the fast path, in parallel.
+// Each worker owns a pooled Predictor, claims chunks of the index space from
+// an atomic counter, and writes results into its own slots, so the output is
+// deterministic regardless of scheduling. The first error stops the sweep.
+func PredictSweep(md *machine.Description, w *Workload, places []placement.Placement, opt Options) ([]TimePrediction, error) {
+	return predictSweepN(md, w, places, opt, SweepWorkers(len(places)))
+}
+
+// predictSweepN is PredictSweep with an explicit worker count, so tests can
+// force parallel execution on single-CPU machines.
+func predictSweepN(md *machine.Description, w *Workload, places []placement.Placement, opt Options, workers int) ([]TimePrediction, error) {
+	out := make([]TimePrediction, len(places))
+	if len(places) == 0 {
+		return out, nil
+	}
+	if workers <= 1 {
+		p, err := NewPredictor(md, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		for i, place := range places {
+			tp, err := p.PredictTime(place)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tp
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := NewPredictor(md, w, opt)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for !stop.Load() {
+				lo := int(next.Add(sweepChunk)) - sweepChunk
+				if lo >= len(places) {
+					return
+				}
+				hi := lo + sweepChunk
+				if hi > len(places) {
+					hi = len(places)
+				}
+				for i := lo; i < hi; i++ {
+					tp, err := p.PredictTime(places[i])
+					if err != nil {
+						fail(err)
+						return
+					}
+					out[i] = tp
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// CoPredictor is the reusable joint-prediction pipeline: one engine's
+// scratch re-bound to successive co-schedules of the same machine. The
+// scheduler uses one per Scheduler instance, under its lock, to evaluate
+// candidate placements without rebuilding the engine each time.
+//
+// A CoPredictor is not safe for concurrent use.
+type CoPredictor struct {
+	md  *machine.Description
+	e   *engine
+	opt Options
+}
+
+// NewCoPredictor validates the machine once and allocates the joint engine
+// state.
+func NewCoPredictor(md *machine.Description, opt Options) (*CoPredictor, error) {
+	e, err := newEngineState(md)
+	if err != nil {
+		return nil, err
+	}
+	return &CoPredictor{md: md, e: e, opt: opt}, nil
+}
+
+// Predict jointly predicts the placed workloads. The result is identical to
+// core.PredictCoSchedule(md, placed, opt) — the package-level function is
+// implemented on top of this method.
+func (cp *CoPredictor) Predict(placed []PlacedWorkload) (*CoPrediction, error) {
+	if err := cp.e.bind(placed, true); err != nil {
+		return nil, err
+	}
+	return coPrediction(cp.md, cp.e, cp.opt)
+}

@@ -36,7 +36,6 @@ func Ablations(h *Harness, entries []bench.Entry) ([]AblationRow, error) {
 		{"no-load-balance", core.Options{DisableLoadBalance: true}, func(r *AblationRow, v float64) { r.NoLB = v }},
 	}
 	var rows []AblationRow
-	topo := h.TB.Machine()
 	for _, e := range entries {
 		prof, err := h.Profile(e)
 		if err != nil {
@@ -48,18 +47,13 @@ func Ablations(h *Harness, entries []bench.Entry) ([]AblationRow, error) {
 		}
 		row := AblationRow{Workload: e.Name}
 		for _, cfg := range configs {
-			pred := make([]float64, len(h.Shapes))
-			opt := cfg.opt
-			err := parallelEach(len(h.Shapes), func(i int) error {
-				p, err := core.Predict(h.MD, &prof.Workload, h.Shapes[i].Expand(topo), opt)
-				if err != nil {
-					return err
-				}
-				pred[i] = p.Time
-				return nil
-			})
+			preds, err := core.PredictSweep(h.MD, &prof.Workload, h.Placements(), cfg.opt)
 			if err != nil {
 				return nil, fmt.Errorf("eval: ablation %s of %s: %w", cfg.name, e.Name, err)
+			}
+			pred := make([]float64, len(preds))
+			for i, p := range preds {
+				pred[i] = p.Time
 			}
 			cfg.set(&row, ComputeMetrics(meas, pred).MedianErr)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pandia/internal/bench"
 	"pandia/internal/core"
@@ -34,6 +35,11 @@ type Harness struct {
 	Shapes []placement.Shape
 	// Seed drives sampling and measurement noise.
 	Seed int64
+
+	// places holds each shape's expanded placement, aligned with Shapes.
+	// Expanding once here keeps MeasureAll, PredictAll, PredictAllDegraded,
+	// and the ablation loops from re-deriving the same placements per sweep.
+	places []placement.Placement
 
 	mu       sync.Mutex
 	profiles map[string]*workload.Profile
@@ -84,12 +90,22 @@ func NewHarness(key string, maxPlacements int, seed int64) (*Harness, error) {
 		}
 	}
 	placement.SortShapes(shapes)
+	places := make([]placement.Placement, len(shapes))
+	for i, s := range shapes {
+		places[i] = s.Expand(topo)
+	}
 	return &Harness{
 		Key: key, TB: tb, MD: md, Shapes: shapes, Seed: seed,
+		places:   places,
 		profiles: make(map[string]*workload.Profile),
 		measured: make(map[string][]float64),
 	}, nil
 }
+
+// Placements returns the expanded placement of every evaluation shape,
+// aligned with Shapes. The slice and the placements it holds are shared and
+// must not be modified.
+func (h *Harness) Placements() []placement.Placement { return h.places }
 
 // cachedProfile fetches a cached profile under the lock.
 func (h *Harness) cachedProfile(name string) (*workload.Profile, bool) {
@@ -126,11 +142,10 @@ func (h *Harness) MeasureAll(e bench.Entry) ([]float64, error) {
 	}
 
 	times := make([]float64, len(h.Shapes))
-	topo := h.TB.Machine()
 	err := parallelEach(len(h.Shapes), func(i int) error {
 		res, err := h.TB.Run(simhw.RunConfig{
 			Workload:  e.Truth,
-			Placement: h.Shapes[i].Expand(topo),
+			Placement: h.places[i],
 			Power:     simhw.PowerFilled,
 			Seed:      h.Seed,
 		})
@@ -163,20 +178,16 @@ func (h *Harness) storeMeasurement(name string, times []float64) {
 
 // PredictAll predicts the workload on every evaluation shape using the
 // given description (possibly from another machine, for the portability
-// experiments), returning times aligned with h.Shapes.
+// experiments), returning times aligned with h.Shapes. The sweep runs on
+// the fast prediction path with per-worker pooled predictors.
 func (h *Harness) PredictAll(w *core.Workload) ([]float64, error) {
-	times := make([]float64, len(h.Shapes))
-	topo := h.TB.Machine()
-	err := parallelEach(len(h.Shapes), func(i int) error {
-		pred, err := core.Predict(h.MD, w, h.Shapes[i].Expand(topo), core.Options{})
-		if err != nil {
-			return fmt.Errorf("eval: predicting %s on %v: %w", w.Name, h.Shapes[i], err)
-		}
-		times[i] = pred.Time
-		return nil
-	})
+	preds, err := core.PredictSweep(h.MD, w, h.places, core.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eval: predicting %s on %s: %w", w.Name, h.Key, err)
+	}
+	times := make([]float64, len(preds))
+	for i, p := range preds {
+		times[i] = p.Time
 	}
 	return times, nil
 }
@@ -186,24 +197,15 @@ func (h *Harness) PredictAll(w *core.Workload) ([]float64, error) {
 // back to the Amdahl-only model instead of failing the whole sweep. It
 // additionally returns how many of the predictions were degraded.
 func (h *Harness) PredictAllDegraded(w *core.Workload) ([]float64, int, error) {
-	times := make([]float64, len(h.Shapes))
-	flags := make([]bool, len(h.Shapes))
-	topo := h.TB.Machine()
-	err := parallelEach(len(h.Shapes), func(i int) error {
-		pred, err := core.Predict(h.MD, w, h.Shapes[i].Expand(topo), core.Options{AllowDegraded: true})
-		if err != nil {
-			return fmt.Errorf("eval: degraded prediction of %s on %v: %w", w.Name, h.Shapes[i], err)
-		}
-		times[i] = pred.Time
-		flags[i] = pred.Degraded
-		return nil
-	})
+	preds, err := core.PredictSweep(h.MD, w, h.places, core.Options{AllowDegraded: true})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("eval: degraded prediction of %s on %s: %w", w.Name, h.Key, err)
 	}
+	times := make([]float64, len(preds))
 	degraded := 0
-	for _, f := range flags {
-		if f {
+	for i, p := range preds {
+		times[i] = p.Time
+		if p.Degraded {
 			degraded++
 		}
 	}
@@ -259,7 +261,20 @@ func (h *Harness) CurveWith(e bench.Entry, w *core.Workload, profileCost float64
 // parallelEach runs fn(i) for i in [0,n) across the available CPUs and
 // returns the first error.
 func parallelEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return parallelEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// parallelChunk is how many consecutive indices a worker claims per atomic
+// increment: large enough to amortise the counter traffic, small enough to
+// balance uneven per-item costs.
+const parallelChunk = 8
+
+// parallelEachN is parallelEach with an explicit worker count, so tests can
+// force parallel execution regardless of GOMAXPROCS. Workers claim chunks of
+// the index space from an atomic counter — no per-item channel sends, and no
+// blocked senders to leak when a worker bails out early on error. An error
+// stops every worker at its next chunk boundary; the first one reported wins.
+func parallelEachN(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -275,27 +290,32 @@ func parallelEach(n int, fn func(i int) error) error {
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		first error
+		next  atomic.Int64
+		stop  atomic.Bool
 	)
-	// Fill the work queue up front and close it: a feeder goroutine would
-	// block forever on an unbuffered send if a worker bails out early on
-	// error, leaking one goroutine per failed run (found by leakcheck).
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+			for !stop.Load() {
+				lo := int(next.Add(parallelChunk)) - parallelChunk
+				if lo >= n {
 					return
+				}
+				hi := lo + parallelChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(i); err != nil {
+						stop.Store(true)
+						mu.Lock()
+						if first == nil {
+							first = err
+						}
+						mu.Unlock()
+						return
+					}
 				}
 			}
 		}()

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pandia/internal/analysis/leaktest"
+)
+
+// TestParallelEachNCoversAll verifies the atomic-counter dispatcher visits
+// every index exactly once, for worker counts around the chunk boundaries.
+func TestParallelEachNCoversAll(t *testing.T) {
+	defer leaktest.Check(t)()
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, parallelChunk - 1, parallelChunk, parallelChunk + 1, 100} {
+			hits := make([]int32, n)
+			err := parallelEachN(n, workers, func(i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEachNErrorBailout covers the error path: the returned error is
+// one produced by fn, later chunks stop being claimed, and no worker
+// goroutine leaks (the channel-based dispatcher's historical failure mode).
+func TestParallelEachNErrorBailout(t *testing.T) {
+	defer leaktest.Check(t)()
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	release := make(chan struct{})
+	err := parallelEachN(1000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			// Fail on the first index while the other workers are parked, so
+			// the stop flag is observably set before they claim more chunks.
+			err := sentinel
+			close(release)
+			return err
+		}
+		<-release
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sentinel", err)
+	}
+	// The failing worker quits after its chunk; the three blocked workers
+	// finish at most one chunk each after release, then see the stop flag.
+	if got := calls.Load(); got > 4*2*parallelChunk {
+		t.Fatalf("ran %d items after an early error; dispatcher did not stop", got)
+	}
+}
+
+// TestParallelEachNSerialError pins the serial path's deterministic
+// semantics: the first error returns immediately, later indices never run.
+func TestParallelEachNSerialError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls int
+	err := parallelEachN(100, 1, func(i int) error {
+		calls++
+		if i == 37 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sentinel", err)
+	}
+	if calls != 38 {
+		t.Fatalf("serial path ran %d calls, want 38", calls)
+	}
+}

@@ -3,9 +3,18 @@ package placement
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"pandia/internal/topology"
 )
+
+// enumCache memoises Enumerate per machine shape. Machine is a small
+// comparable struct, so it keys the map directly. The cached slice is
+// canonical and never handed out: Enumerate returns a fresh top-level copy,
+// because callers sort, append, and sample the result in place. The Shape
+// values inside (and their PerSocket slices) are shared — they are immutable
+// by convention throughout the codebase (enforced by the mutcheck pass).
+var enumCache sync.Map // topology.Machine -> []Shape
 
 // Enumerate generates every canonical shape on the machine: all multisets of
 // per-socket occupancies, at least one thread total. The result is sorted by
@@ -16,7 +25,20 @@ import (
 // The canonical space is ~18k shapes for the X5-2 and ~1k for the X3-2/X4-2.
 // For machines whose space is enormous (the 4-socket X2-4 has ~860k), use
 // EnumerateSampled.
+//
+// Results are memoised per machine: repeated calls copy a cached slice
+// instead of re-running the recursion.
 func Enumerate(m topology.Machine) []Shape {
+	if v, ok := enumCache.Load(m); ok {
+		return append([]Shape(nil), v.([]Shape)...)
+	}
+	shapes := enumerate(m)
+	enumCache.Store(m, shapes)
+	return append([]Shape(nil), shapes...)
+}
+
+// enumerate is the uncached enumeration.
+func enumerate(m topology.Machine) []Shape {
 	states := socketStates(m)
 	var shapes []Shape
 	// Multisets: choose a non-increasing sequence of state indices, one per

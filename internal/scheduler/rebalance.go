@@ -45,7 +45,7 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 		a := s.running[id]
 		baseJobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement}
 	}
-	baseCo, err := core.PredictCoSchedule(s.md, baseJobs, core.Options{})
+	baseCo, err := s.co.Predict(baseJobs)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 			}
 			jobs := append([]core.PlacedWorkload(nil), baseJobs...)
 			jobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
-			co, err := core.PredictCoSchedule(s.md, jobs, core.Options{})
+			co, err := s.co.Predict(jobs)
 			if err != nil {
 				return nil, err
 			}

@@ -67,11 +67,15 @@ type Scheduler struct {
 	mu       sync.Mutex
 	running  map[string]*Assignment
 	occupied map[topology.Context]string
+	// co is the reusable joint-prediction pipeline. A CoPredictor owns
+	// mutable engine scratch, so it is only used while mu is held.
+	co *core.CoPredictor
 }
 
 // New builds a scheduler for the described machine.
 func New(md *machine.Description, cfg Config) (*Scheduler, error) {
-	if err := md.Validate(); err != nil {
+	co, err := core.NewCoPredictor(md, core.Options{})
+	if err != nil {
 		return nil, err
 	}
 	return &Scheduler{
@@ -79,6 +83,7 @@ func New(md *machine.Description, cfg Config) (*Scheduler, error) {
 		cfg:      cfg,
 		running:  make(map[string]*Assignment),
 		occupied: make(map[topology.Context]string),
+		co:       co,
 	}, nil
 }
 
@@ -184,7 +189,7 @@ func (s *Scheduler) Submit(job Job) (*Assignment, error) {
 		seen[key] = true
 		jobs := append(append([]core.PlacedWorkload(nil), base...),
 			core.PlacedWorkload{Workload: job.Workload, Placement: cand.place})
-		co, err := core.PredictCoSchedule(s.md, jobs, core.Options{})
+		co, err := s.co.Predict(jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -229,20 +234,22 @@ func (s *Scheduler) Remove(jobID string) error {
 	return nil
 }
 
-// Predict re-predicts the whole running mix jointly (for monitoring).
+// Predict re-predicts the whole running mix jointly (for monitoring). The
+// prediction runs under the lock so it can reuse the scheduler's pooled
+// CoPredictor.
 func (s *Scheduler) Predict() (*core.CoPrediction, error) {
-	jobs := s.snapshotJobs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := s.jobsLocked()
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("scheduler: nothing running")
 	}
-	return core.PredictCoSchedule(s.md, jobs, core.Options{})
+	return s.co.Predict(jobs)
 }
 
-// snapshotJobs copies the running mix, in deterministic job-ID order, under
-// the lock.
-func (s *Scheduler) snapshotJobs() []core.PlacedWorkload {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// jobsLocked copies the running mix in deterministic job-ID order. The
+// caller must hold mu.
+func (s *Scheduler) jobsLocked() []core.PlacedWorkload {
 	jobs := make([]core.PlacedWorkload, 0, len(s.running))
 	ids := make([]string, 0, len(s.running))
 	for id := range s.running {

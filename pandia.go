@@ -69,6 +69,12 @@ type (
 	PlacedWorkload = core.PlacedWorkload
 	// CoPrediction is the joint prediction for co-scheduled workloads.
 	CoPrediction = core.CoPrediction
+	// Predictor is a reusable, allocation-free prediction pipeline for one
+	// workload on one machine (validate once, predict many placements).
+	Predictor = core.Predictor
+	// TimePrediction is the fast path's value-typed result: time and
+	// speedup without the per-thread detail vectors.
+	TimePrediction = core.TimePrediction
 )
 
 // Models lists the available simulated machines: the paper's evaluation
@@ -164,6 +170,21 @@ func (s *System) PredictShape(w *WorkloadDescription, shape Shape, opt PredictOp
 	return core.Predict(s.md, w, shape.Expand(s.tb.Machine()), opt)
 }
 
+// NewPredictor builds a reusable predictor for the workload on this system:
+// inputs are validated once, and every subsequent Predict or PredictTime
+// call reuses the engine's scratch. PredictTime performs zero heap
+// allocations in the steady state, which is what makes sweeping thousands
+// of candidate placements cheap (§6.3).
+func (s *System) NewPredictor(w *WorkloadDescription, opt PredictOptions) (*Predictor, error) {
+	return core.NewPredictor(s.md, w, opt)
+}
+
+// PredictSweep predicts every placement on the fast path with per-worker
+// pooled predictors, returning results aligned with places.
+func (s *System) PredictSweep(w *WorkloadDescription, places []Placement, opt PredictOptions) ([]TimePrediction, error) {
+	return core.PredictSweep(s.md, w, places, opt)
+}
+
 // PredictCoSchedule jointly predicts several workloads sharing the machine
 // (the paper's §8 extension): each keeps its own scaling and
 // synchronisation behaviour while all press on the same resource loads.
@@ -226,32 +247,50 @@ func (s *System) Recommend(w *WorkloadDescription, targetFraction float64) (*Rec
 	shapes := s.Shapes(4000)
 	topo := s.tb.Machine()
 
-	rec := &Recommendation{TargetFraction: targetFraction}
-	preds := make([]*Prediction, len(shapes))
-	best := math.Inf(-1)
+	// Sweep on the fast path (speedups only), then run the full-detail
+	// prediction just for the two winning shapes. PredictTime's Speedup is
+	// bit-identical to Predict's, so the selection is unchanged.
+	places := make([]Placement, len(shapes))
 	for i, shape := range shapes {
-		pred, err := core.Predict(s.md, w, shape.Expand(topo), core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		preds[i] = pred
-		if pred.Speedup > best {
-			best = pred.Speedup
-			rec.Best = shape
-			rec.BestPrediction = pred
+		places[i] = shape.Expand(topo)
+	}
+	times, err := core.PredictSweep(s.md, w, places, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{TargetFraction: targetFraction}
+	best := math.Inf(-1)
+	bestIdx := -1
+	for i := range shapes {
+		if times[i].Speedup > best {
+			best = times[i].Speedup
+			bestIdx = i
 		}
 	}
 	target := best * targetFraction
 	bestCost := [3]int{1 << 30, 1 << 30, 1 << 30}
+	minIdx := -1
 	for i, shape := range shapes {
-		if preds[i].Speedup < target {
+		if times[i].Speedup < target {
 			continue
 		}
 		cost := [3]int{shape.Threads(), shape.Cores(), shape.SocketsUsed()}
 		if less3(cost, bestCost) {
 			bestCost = cost
-			rec.Minimal = shape
-			rec.MinimalPrediction = preds[i]
+			minIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		rec.Best = shapes[bestIdx]
+		if rec.BestPrediction, err = core.Predict(s.md, w, places[bestIdx], core.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	if minIdx >= 0 {
+		rec.Minimal = shapes[minIdx]
+		if rec.MinimalPrediction, err = core.Predict(s.md, w, places[minIdx], core.Options{}); err != nil {
+			return nil, err
 		}
 	}
 	return rec, nil
