@@ -13,7 +13,7 @@ GO ?= go
 # The benchmarks whose trajectory BENCH_core.json tracks.
 BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
 
-.PHONY: check test vet pandia-vet fuzz fuzz-smoke bench bench-smoke build
+.PHONY: check test vet pandia-vet fuzz fuzz-smoke bench bench-smoke bench-gate build
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ check: build
 	$(GO) run ./cmd/pandia-vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-gate
 
 # fuzz-smoke is the gate-sized fuzzing pass: 5 seconds per target, enough
 # to catch parser/expander regressions on the corpus plus easy mutations.
@@ -55,3 +56,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchtime 5x -benchmem . \
 	  | $(GO) run ./cmd/pandia-benchjson -label smoke -out ''
+
+# bench-gate is the observability overhead gate: with metrics and a
+# disabled tracer wired into the predictor, the reuse fast path must stay
+# at 0 allocs/op and both micro-benchmarks within 5% ns/op of the recorded
+# "current" run in BENCH_core.json. Refresh the reference with `make bench`
+# after intentional perf changes.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchmem . \
+	  | $(GO) run ./cmd/pandia-benchjson -gate current -zero-alloc BenchmarkPredictorReuse -out BENCH_core.json

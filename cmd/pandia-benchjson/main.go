@@ -7,6 +7,13 @@
 // Runs are keyed by label: recording an existing label replaces that run in
 // place, so "baseline" stays pinned while "current" follows the tree. With
 // -out "" the parsed run is printed and nothing is written (CI smoke mode).
+//
+// With -gate <label>, nothing is recorded: the parsed run is compared
+// against the labelled run in -out and the command fails when a benchmark
+// regresses by more than -gate-tolerance in ns/op, or when a benchmark
+// named in -zero-alloc reports any allocations. This is the observability
+// overhead gate: the instrumented predictor hot path must stay
+// allocation-free and within tolerance of its recorded cost.
 package main
 
 import (
@@ -50,6 +57,9 @@ type File struct {
 func main() {
 	label := flag.String("label", "current", "label to record the run under (an existing label is replaced)")
 	out := flag.String("out", "BENCH_core.json", "JSON file to update; empty prints the run without writing")
+	gate := flag.String("gate", "", "compare against this labelled run in -out instead of recording; fail on regression")
+	gateTol := flag.Float64("gate-tolerance", 0.05, "allowed fractional ns/op regression in gate mode")
+	zeroAlloc := flag.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op in gate mode")
 	flag.Parse()
 
 	run, err := parse(os.Stdin)
@@ -70,6 +80,15 @@ func main() {
 			fmt.Printf(" %10.0f allocs/op", *b.AllocsPerOp)
 		}
 		fmt.Println()
+	}
+
+	if *gate != "" {
+		if err := runGate(run, *out, *gate, *gateTol, *zeroAlloc); err != nil {
+			fmt.Fprintf(os.Stderr, "pandia-benchjson: gate FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed against %q (tolerance %.0f%%)\n", *gate, 100**gateTol)
+		return
 	}
 
 	if *out == "" {
@@ -103,6 +122,73 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("recorded %d benchmarks as %q in %s\n", len(run.Benchmarks), run.Label, *out)
+}
+
+// runGate compares the parsed run against the labelled reference in file.
+// Every parsed benchmark also present in the reference must stay within
+// tol fractional ns/op of it, and every benchmark named in zeroAlloc must
+// report exactly 0 allocs/op. Parsed benchmarks absent from the reference
+// pass the timing check (there is nothing to regress from) but not the
+// zero-alloc one.
+func runGate(run *Run, file, label string, tol float64, zeroAlloc string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("reading reference %s: %w", file, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s is not a bench file: %w", file, err)
+	}
+	ref := make(map[string]Benchmark)
+	found := false
+	for _, r := range f.Runs {
+		if r.Label == label {
+			found = true
+			for _, b := range r.Benchmarks {
+				ref[b.Name] = b
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("no run labelled %q in %s", label, file)
+	}
+
+	mustZero := make(map[string]bool)
+	for _, name := range strings.Split(zeroAlloc, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			mustZero[name] = true
+		}
+	}
+
+	var problems []string
+	for _, b := range run.Benchmarks {
+		if mustZero[b.Name] {
+			delete(mustZero, b.Name)
+			switch {
+			case b.AllocsPerOp == nil:
+				problems = append(problems, fmt.Sprintf("%s: no allocs/op reported (run with -benchmem)", b.Name))
+			case *b.AllocsPerOp != 0:
+				problems = append(problems, fmt.Sprintf("%s: %g allocs/op, must be 0", b.Name, *b.AllocsPerOp))
+			}
+		}
+		r, ok := ref[b.Name]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		growth := b.NsPerOp/r.NsPerOp - 1
+		fmt.Printf("%-32s %+6.1f%% vs %s (%0.f ns/op)\n", b.Name, 100*growth, label, r.NsPerOp)
+		if growth > tol {
+			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op is %.1f%% above the %q run's %.0f (tolerance %.0f%%)",
+				b.Name, b.NsPerOp, 100*growth, label, r.NsPerOp, 100*tol))
+		}
+	}
+	for name := range mustZero {
+		problems = append(problems, fmt.Sprintf("%s: required zero-alloc benchmark missing from the run", name))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "; "))
+	}
+	return nil
 }
 
 // parse reads `go test -bench` output and extracts benchmark lines plus the

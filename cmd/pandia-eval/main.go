@@ -15,6 +15,12 @@
 //	sweep       §6.3 table: packed/spread sweep baseline comparison
 //	noise       robustness: fault-injected profiling, naive vs hardened
 //	throughput  prediction throughput: batched full-zoo sweeps, X5-2
+//	convergence solver iterations-to-convergence histograms, X5-2
+//
+// With -trace <dir>, one representative solve per workload is additionally
+// recorded through the solver tracer and written as Chrome trace_event JSON
+// (load "chrome://tracing" or https://ui.perfetto.dev), compact JSONL, and
+// a per-resource contention explanation.
 package main
 
 import (
@@ -26,8 +32,10 @@ import (
 	"time"
 
 	"pandia/internal/bench"
+	"pandia/internal/core"
 	"pandia/internal/eval"
 	"pandia/internal/faults"
+	"pandia/internal/obs"
 )
 
 var (
@@ -37,6 +45,7 @@ var (
 	maxPlace  = flag.Int("max-placements", -1, "placement sample cap per machine (-1 = paper defaults)")
 	seed      = flag.Int64("seed", 1, "measurement noise / sampling seed")
 	ascii     = flag.Bool("ascii", false, "also print ASCII curve plots")
+	traceDir  = flag.String("trace", "", "record one solve per workload into this directory (Chrome trace JSON + JSONL + explanation)")
 )
 
 func main() {
@@ -114,6 +123,7 @@ func run() error {
 		{"ablation", ablation},
 		{"noise", noise},
 		{"throughput", throughput},
+		{"convergence", convergence},
 	} {
 		if !all && !want[s.name] {
 			continue
@@ -125,6 +135,15 @@ func run() error {
 		}
 		fmt.Printf("# %s done in %v\n", s.name, time.Since(start).Round(time.Millisecond))
 	}
+	if *traceDir != "" {
+		if err := traceSolves(hc, entries); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	// Snapshot the process-wide metrics last so the report carries the
+	// quality totals (faults.measure.retries/outliers, core.predict.*) of
+	// everything that ran, whether or not any CSV was requested.
+	report.Metrics = obs.Default().Snapshot()
 	reportPath := filepath.Join(*outDir, "report.json")
 	if err := report.Save(reportPath); err != nil {
 		return err
@@ -384,6 +403,110 @@ func throughput(hc harnessCache, entries []bench.Entry) error {
 	fmt.Printf("%d predictions (%d workloads x %d placements x %d rounds) in %v: %.0f placements/s\n",
 		preds, len(entries), len(h.Placements()), rounds,
 		elapsed.Round(time.Millisecond), perSec)
+	return nil
+}
+
+// convergence runs the solver convergence study on the X5-2: full slow-path
+// predictions over the Fig. 10 placement sets, histogramming the fixed-point
+// solver's iterations-to-convergence per workload.
+func convergence(hc harnessCache, entries []bench.Entry) error {
+	h, err := hc.get("x5-2")
+	if err != nil {
+		return err
+	}
+	c, err := eval.ConvergenceStudy(h, entries)
+	if err != nil {
+		return err
+	}
+	report.Convergence = c
+	if err := eval.RenderConvergence(os.Stdout, c); err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, "convergence.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eval.WriteConvergenceCSV(f, c); err != nil {
+		return err
+	}
+	fmt.Printf("-> %s\n", path)
+	return f.Close()
+}
+
+// traceSolves records one representative solve per workload — the largest
+// placement in the evaluation set — through the solver tracer, and writes
+// each as Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev),
+// compact JSONL, and a rendered contention explanation. The trace clock is
+// a deterministic manual clock (1ms per event), so traces are reproducible
+// artifacts, not timing measurements.
+func traceSolves(hc harnessCache, entries []bench.Entry) error {
+	if err := eval.EnsureDir(*traceDir); err != nil {
+		return err
+	}
+	h, err := hc.get("x5-2")
+	if err != nil {
+		return err
+	}
+	// Representative placement: the widest one under evaluation, which
+	// exercises every contention term in the model.
+	place := h.Placements()[0]
+	for _, p := range h.Placements() {
+		if len(p) > len(place) {
+			place = p
+		}
+	}
+	fmt.Printf("\n==== trace ====\n")
+	for _, e := range entries {
+		prof, err := h.Profile(e)
+		if err != nil {
+			return err
+		}
+		tr := obs.NewRingTracer(4096, obs.NewManualClock(0, 1e-3))
+		p, err := core.NewPredictor(h.MD, &prof.Workload, core.Options{Tracer: tr})
+		if err != nil {
+			return err
+		}
+		pred, err := p.Predict(place)
+		if err != nil {
+			return err
+		}
+		labels := core.TraceLabels(h.MD, func(int32) string { return e.Name })
+		base := filepath.Join(*traceDir, fmt.Sprintf("%s-%s", h.Key, e.Name))
+		cf, err := os.Create(base + ".trace.json")
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(cf, tr.Events(), labels); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		jf, err := os.Create(base + ".jsonl")
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(jf, tr.Events(), labels); err != nil {
+			jf.Close()
+			return err
+		}
+		if err := jf.Close(); err != nil {
+			return err
+		}
+		ex, err := core.ExplainPrediction(h.MD, pred, place)
+		if err != nil {
+			return err
+		}
+		ex.Workload = e.Name
+		if err := os.WriteFile(base+".explain.txt", []byte(ex.Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %2d iterations, %3d events -> %s.{trace.json,jsonl,explain.txt}\n",
+			e.Name, pred.Iterations, len(tr.Events()), base)
+	}
 	return nil
 }
 

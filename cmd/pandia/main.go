@@ -8,6 +8,7 @@
 //	pandia describe  -machine x5-2 [-o machine.json]
 //	pandia profile   -machine x5-2 -workload MD [-o workload.json]
 //	pandia predict   -machine x5-2 (-workload MD | -workload-file w.json) -shape 2x2+3x1/4x1
+//	pandia explain   -machine x5-2 (-workload MD | -workload-file w.json) -shape 2x2+3x1/4x1 [-trace t.json]
 //	pandia recommend -machine x5-2 (-workload MD | -workload-file w.json) [-target 0.95]
 //	pandia explore   -machine x3-2 -workload MD [-max 500]
 //	pandia workloads
@@ -27,6 +28,7 @@ import (
 	"pandia"
 	"pandia/internal/core"
 	"pandia/internal/eval"
+	"pandia/internal/obs"
 	"pandia/internal/topology"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		err = cmdProfileAll(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "recommend":
 		err = cmdRecommend(os.Args[2:])
 	case "explore":
@@ -76,6 +80,7 @@ commands:
   profile     generate a workload description (six profiling runs)
   profile-all profile the whole zoo into a description directory
   predict     predict one placement's performance
+  explain     attribute a prediction to contended resources, per socket
   recommend   find the best and the minimal-adequate placements
   explore     predict and measure a workload over the placement space
   help        show this help`)
@@ -239,6 +244,78 @@ func cmdPredict(args []string) error {
 	if *explain {
 		fmt.Println()
 		fmt.Print(core.Explain(pred, shape.Expand(sys.Machine())))
+	}
+	return nil
+}
+
+// cmdExplain predicts one placement and renders the full explainability
+// report: which resource bounds the prediction, per-resource utilisation,
+// and the per-socket attribution of predicted time to the model's terms.
+// With -full it appends the Fig. 7-style per-thread slowdown table, and
+// with -trace it records the solve as Chrome trace_event JSON for
+// chrome://tracing or ui.perfetto.dev.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	model := fs.String("machine", "x5-2", "machine model")
+	modelFile := fs.String("machine-file", "", "custom machine truth JSON file")
+	name := fs.String("workload", "", "benchmark zoo workload name")
+	file := fs.String("workload-file", "", "workload description JSON file")
+	shapeStr := fs.String("shape", "", "placement shape, e.g. 2x2+3x1/4x1")
+	full := fs.Bool("full", false, "also print the per-thread slowdown breakdown (Fig. 7 style)")
+	traceOut := fs.String("trace", "", "write the solve as Chrome trace JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shapeStr == "" {
+		return fmt.Errorf("explain: -shape is required")
+	}
+	sys, err := openSystem(*model, *modelFile)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(sys, *name, *file)
+	if err != nil {
+		return err
+	}
+	shape, err := pandia.ParseShape(*shapeStr)
+	if err != nil {
+		return err
+	}
+	var tr *obs.RingTracer
+	opt := pandia.PredictOptions{}
+	if *traceOut != "" {
+		tr = obs.NewRingTracer(4096, obs.NewManualClock(0, 1e-3))
+		opt.Tracer = tr
+	}
+	place := shape.Expand(sys.Machine())
+	pred, err := sys.Predict(w, place, opt)
+	if err != nil {
+		return err
+	}
+	ex, err := core.ExplainPrediction(sys.Description(), pred, place)
+	if err != nil {
+		return err
+	}
+	ex.Workload = w.Name
+	fmt.Print(ex.Render())
+	if *full {
+		fmt.Println()
+		fmt.Print(core.Explain(pred, place))
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		labels := core.TraceLabels(sys.Description(), func(int32) string { return w.Name })
+		if err := obs.WriteChromeTrace(f, tr.Events(), labels); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nsolver trace (%d events) written to %s\n", len(tr.Events()), *traceOut)
 	}
 	return nil
 }

@@ -7,7 +7,10 @@
 // not associative, so even "order-independent" sums drift), time.Now, and
 // the process-seeded global math/rand source. This pass forbids all three
 // inside the prediction packages (internal/core, internal/simhw,
-// internal/eval by default). Seeded generators built with
+// internal/eval, internal/faults, internal/obs by default) — in particular,
+// observability timestamps must come from an injected obs.Clock, never a
+// bare time.Now, so recorded traces stay reproducible. Seeded generators
+// built with
 // rand.New(rand.NewSource(seed)) are fine; test files are exempt; a
 // deliberate order-independent iteration can carry a //detlint:ignore
 // comment with a justification.
@@ -27,7 +30,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbid nondeterministic constructs (map range, time.Now, global math/rand) " +
 		"in the prediction core",
 	Run:      run,
-	Restrict: analysis.RestrictTo("internal/core", "internal/simhw", "internal/eval", "internal/faults"),
+	Restrict: analysis.RestrictTo("internal/core", "internal/simhw", "internal/eval", "internal/faults", "internal/obs"),
 }
 
 // seededConstructors are the math/rand functions that build explicitly

@@ -10,3 +10,24 @@ import (
 func TestDetlint(t *testing.T) {
 	analysistest.Run(t, "testdata", detlint.Analyzer, "a")
 }
+
+// TestDetlintCoversObservability pins the pass's scope: the observability
+// layer records timestamps, so a bare time.Now there would make traces
+// irreproducible. It must stay under detlint's restriction (timestamps come
+// from an injected obs.Clock instead).
+func TestDetlintCoversObservability(t *testing.T) {
+	for _, pkg := range []string{
+		"pandia/internal/core",
+		"pandia/internal/simhw",
+		"pandia/internal/eval",
+		"pandia/internal/faults",
+		"pandia/internal/obs",
+	} {
+		if !detlint.Analyzer.Restrict(pkg) {
+			t.Errorf("detlint does not cover %s", pkg)
+		}
+	}
+	if detlint.Analyzer.Restrict("pandia/cmd/pandia-eval") {
+		t.Error("detlint must not restrict cmd/ packages (wall-clock timing lives there)")
+	}
+}

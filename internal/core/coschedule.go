@@ -88,6 +88,12 @@ func coPrediction(md *machine.Description, e *engine, opt Options) (*CoPredictio
 	}
 	out.WorstOversubscription = worst
 	out.WorstResource = worstID
+	// The loads are joint, so every constituent prediction reports the same
+	// machine-wide worst resource.
+	for _, pred := range out.Predictions {
+		pred.WorstResource = worstID
+		pred.WorstOversubscription = worst
+	}
 	return out, nil
 }
 

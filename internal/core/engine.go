@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pandia/internal/machine"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -404,6 +405,17 @@ func (e *engine) iterate(opt Options) (int, bool) {
 	dampenAfter := opt.dampenAfter()
 	tolerance := opt.tolerance()
 	checks := invariantChecks.Load()
+	// Tracing costs exactly this branch when off: no event is assembled, no
+	// load summary computed, and the Event is a pointer-free value, so the
+	// zero-allocation fast path is untouched (TestPredictTimeZeroAllocs runs
+	// with a disabled tracer wired in).
+	tr := opt.Tracer
+	tracing := tr != nil && tr.Enabled()
+	if tracing {
+		for jid, j := range e.jobs {
+			tr.Emit(obs.Event{Kind: obs.EvPredictStart, Job: int32(jid), Arg: int32(len(j.place))})
+		}
+	}
 	iters := 0
 	converged := false
 	for iter := 0; iter < maxIters; iter++ {
@@ -526,9 +538,21 @@ func (e *engine) iterate(opt Options) (int, bool) {
 		if checks && e.invErr == nil {
 			e.invErr = e.checkIteration(iter)
 		}
+		if tracing {
+			e.emitIteration(tr, iters, maxDelta)
+		}
 		if maxDelta < tolerance {
 			converged = true
 			break
+		}
+	}
+	if tracing {
+		var conv int32
+		if converged {
+			conv = 1
+		}
+		for jid := range e.jobs {
+			tr.Emit(obs.Event{Kind: obs.EvPredictEnd, Job: int32(jid), Iter: int32(iters), Arg: conv})
 		}
 	}
 	return iters, converged

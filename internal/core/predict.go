@@ -2,6 +2,7 @@ package core
 
 import (
 	"pandia/internal/machine"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -19,6 +20,13 @@ type Options struct {
 	// Tolerance is the convergence threshold on the utilisation factors;
 	// 0 means the default (1e-9).
 	Tolerance float64
+
+	// Tracer, when non-nil and enabled, receives one event per refinement
+	// iteration (residual, per-kind load summary, dominant resource) plus
+	// start/end markers, recorded from inside the solver loop. A nil or
+	// disabled tracer costs a single branch per iteration — the
+	// zero-allocation fast path is pinned with one wired in.
+	Tracer obs.Tracer
 
 	// AllowDegraded lets Predict return a best-effort result instead of an
 	// error when the inputs fail validation but are repairable (missing or
@@ -89,6 +97,14 @@ type Prediction struct {
 	// touches, at converged utilisations — the resource-consumption
 	// prediction the paper highlights for co-scheduling (§6.3, §8).
 	Loads map[topology.ResourceID]float64
+	// WorstResource identifies the most oversubscribed resource at the
+	// converged loads and WorstOversubscription its load/capacity ratio (at
+	// most 1 when the placement fits the machine). For joint predictions the
+	// loads — and therefore these fields — cover the whole co-schedule. The
+	// zero ResourceID with ratio 0 means no resource carried load (e.g. the
+	// Amdahl-only degraded fallback).
+	WorstResource         topology.ResourceID
+	WorstOversubscription float64
 	// Iterations is how many refinement rounds ran; Converged reports
 	// whether the utilisations stabilised within tolerance.
 	Iterations int

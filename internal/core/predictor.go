@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"pandia/internal/machine"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 )
 
@@ -83,11 +84,14 @@ func (p *Predictor) Predict(place placement.Placement) (*Prediction, error) {
 		return nil, err
 	}
 	iters, converged := p.e.iterate(p.opt)
+	metPredictions.Inc()
+	metIterations.Observe(float64(iters))
 	reasons := p.baseReasons
 	var pred *Prediction
 	if !converged && p.opt.AllowDegraded {
 		// The fixed point did not stabilise: fall back to the contention-free
 		// Amdahl model rather than report a mid-oscillation state.
+		metDegraded.Inc()
 		reasons = append(reasons[:len(reasons):len(reasons)], fmt.Sprintf(
 			"prediction for %q did not converge after %d iterations; Amdahl-only fallback", p.w.Name, iters))
 		pred = amdahlOnly(p.w, len(place), iters)
@@ -98,6 +102,8 @@ func (p *Predictor) Predict(place placement.Placement) (*Prediction, error) {
 		if err != nil {
 			return nil, err
 		}
+		var worst [obs.MaxLoadKinds]float64
+		pred.WorstResource, pred.WorstOversubscription = p.e.loadSummary(&worst)
 		if invariantChecks.Load() && p.e.invErr != nil {
 			return nil, p.e.invErr
 		}
@@ -153,7 +159,10 @@ func (p *Predictor) PredictTime(place placement.Placement) (TimePrediction, erro
 		return TimePrediction{}, err
 	}
 	iters, converged := p.e.iterate(p.opt)
+	metPredictions.Inc()
+	metIterations.Observe(float64(iters))
 	if !converged && p.opt.AllowDegraded {
+		metDegraded.Inc()
 		sp := p.w.AmdahlSpeedup(len(place))
 		return TimePrediction{
 			Time:       SafeDiv(p.w.T1, sp, p.w.T1),
@@ -221,6 +230,8 @@ func predictSweepN(md *machine.Description, w *Workload, places []placement.Plac
 			}
 			out[i] = tp
 		}
+		metSweepPreds.Add(int64(len(places)))
+		metSweepPerWkr.Observe(float64(len(places)))
 		return out, nil
 	}
 
@@ -248,11 +259,20 @@ func predictSweepN(md *machine.Description, w *Workload, places []placement.Plac
 				fail(err)
 				return
 			}
+			// Sweep metrics accumulate in worker-local counters and flush
+			// once at exit: one atomic per chunk claim, two per worker
+			// lifetime, nothing per prediction.
+			var done int64
+			defer func() {
+				metSweepPreds.Add(done)
+				metSweepPerWkr.Observe(float64(done))
+			}()
 			for !stop.Load() {
 				lo := int(next.Add(sweepChunk)) - sweepChunk
 				if lo >= len(places) {
 					return
 				}
+				metSweepChunks.Inc()
 				hi := lo + sweepChunk
 				if hi > len(places) {
 					hi = len(places)
@@ -264,6 +284,7 @@ func predictSweepN(md *machine.Description, w *Workload, places []placement.Plac
 						return
 					}
 					out[i] = tp
+					done++
 				}
 			}
 		}()

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -129,11 +130,16 @@ func TestPredictorAfterError(t *testing.T) {
 
 // TestPredictTimeZeroAllocs pins the fast path at zero heap allocations per
 // prediction — the tentpole acceptance criterion. The engine scratch is
-// warmed by one call; every subsequent call must reuse it entirely.
+// warmed by one call; every subsequent call must reuse it entirely. A
+// disabled tracer is wired in deliberately: the observability layer must
+// compile down to a branch (and the always-on metric counters to atomics)
+// without touching the heap.
 func TestPredictTimeZeroAllocs(t *testing.T) {
 	prev := SetInvariantChecks(false)
 	defer SetInvariantChecks(prev)
-	p, err := NewPredictor(toyMachine(), exampleWorkload(), Options{})
+	tracer := obs.NewRingTracer(16, nil)
+	tracer.SetEnabled(false)
+	p, err := NewPredictor(toyMachine(), exampleWorkload(), Options{Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,6 +154,9 @@ func TestPredictTimeZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("PredictTime allocates %v per op; want 0", allocs)
+	}
+	if got := len(tracer.Events()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d events", got)
 	}
 }
 

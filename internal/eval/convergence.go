@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pandia/internal/bench"
+	"pandia/internal/core"
+	"pandia/internal/obs"
+)
+
+// ConvergenceRow is one workload's solver-convergence profile over the
+// harness's placement set: how many refinement iterations the fixed-point
+// solver needed, as a bucketed distribution.
+type ConvergenceRow struct {
+	Workload string `json:"workload"`
+	// Placements is the number of placements predicted (the histogram's
+	// observation count).
+	Placements int `json:"placements"`
+	// MeanIterations / MaxIterations summarise the distribution.
+	MeanIterations float64 `json:"meanIterations"`
+	MaxIterations  int     `json:"maxIterations"`
+	// Unconverged counts predictions that hit the iteration cap without
+	// meeting the tolerance (possible only under degraded mode; the strict
+	// solver fails instead).
+	Unconverged int `json:"unconverged"`
+	// Histogram is the iteration-count distribution on the standard
+	// obs.IterationBuckets ladder.
+	Histogram obs.HistogramValue `json:"histogram"`
+}
+
+// ConvergenceResult is the solver convergence study on one machine: per-
+// workload iteration histograms across the Fig. 10 placement sets, plus the
+// pooled distribution.
+type ConvergenceResult struct {
+	Machine string           `json:"machine"`
+	Rows    []ConvergenceRow `json:"rows"`
+	// Overall pools every workload's observations.
+	Overall obs.HistogramValue `json:"overall"`
+}
+
+// ConvergenceStudy profiles each workload and predicts it on every
+// evaluation placement with full (slow-path) predictions, histogramming the
+// solver's iterations-to-convergence. It answers the operational question
+// behind the paper's "a few iterations suffice" claim (§5): how the
+// fixed-point iteration count is distributed across real placement sets,
+// and whether any workload strains the cap.
+func ConvergenceStudy(h *Harness, entries []bench.Entry) (*ConvergenceResult, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("eval: convergence study needs workloads")
+	}
+	// A local registry keeps the study's histograms off the process-wide
+	// metric namespace and makes the snapshot self-contained.
+	reg := obs.NewRegistry()
+	overall := reg.Histogram("overall", obs.IterationBuckets())
+	out := &ConvergenceResult{Machine: h.Key}
+	for _, e := range entries {
+		prof, err := h.Profile(e)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewPredictor(h.MD, &prof.Workload, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		hist := reg.Histogram(e.Name, obs.IterationBuckets())
+		row := ConvergenceRow{Workload: e.Name}
+		for _, place := range h.Placements() {
+			pred, err := p.Predict(place)
+			if err != nil {
+				return nil, fmt.Errorf("eval: convergence of %s on %s: %w", e.Name, h.Key, err)
+			}
+			hist.Observe(float64(pred.Iterations))
+			overall.Observe(float64(pred.Iterations))
+			if pred.Iterations > row.MaxIterations {
+				row.MaxIterations = pred.Iterations
+			}
+			if !pred.Converged {
+				row.Unconverged++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	snap := reg.Snapshot()
+	for i := range out.Rows {
+		hv := snap.Histogram(out.Rows[i].Workload)
+		out.Rows[i].Histogram = *hv
+		out.Rows[i].Placements = int(hv.Count)
+		out.Rows[i].MeanIterations = hv.Mean()
+	}
+	out.Overall = *snap.Histogram("overall")
+	return out, nil
+}
+
+// RenderConvergence prints the study as a text table, one bucket column per
+// bound of the iteration ladder.
+func RenderConvergence(w io.Writer, c *ConvergenceResult) error {
+	title := fmt.Sprintf("Solver convergence on %s (%d workloads, %d predictions)",
+		c.Machine, len(c.Rows), c.Overall.Count)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %7s %6s %5s %7s |", "workload", "places", "mean", "max", "unconv"); err != nil {
+		return err
+	}
+	for _, b := range c.Overall.Bounds {
+		if _, err := fmt.Fprintf(w, " %5s", fmt.Sprintf("<=%g", b)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, " %5s\n", "over"); err != nil {
+		return err
+	}
+	rows := append([]ConvergenceRow(nil), c.Rows...)
+	rows = append(rows, ConvergenceRow{
+		Workload:       "(all)",
+		Placements:     int(c.Overall.Count),
+		MeanIterations: c.Overall.Mean(),
+		Histogram:      c.Overall,
+	})
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-12s %7d %6.1f %5d %7d |",
+			r.Workload, r.Placements, r.MeanIterations, r.MaxIterations, r.Unconverged); err != nil {
+			return err
+		}
+		for _, n := range r.Histogram.Counts {
+			if _, err := fmt.Fprintf(w, " %5d", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteConvergenceCSV writes the study for plotting: one row per workload,
+// one column per iteration bucket.
+func WriteConvergenceCSV(w io.Writer, c *ConvergenceResult) error {
+	if _, err := fmt.Fprintf(w, "workload,placements,meanIterations,maxIterations,unconverged"); err != nil {
+		return err
+	}
+	for _, b := range c.Overall.Bounds {
+		if _, err := fmt.Fprintf(w, ",le%g", b); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, ",overflow\n"); err != nil {
+		return err
+	}
+	for _, r := range c.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%d,%d",
+			r.Workload, r.Placements, r.MeanIterations, r.MaxIterations, r.Unconverged); err != nil {
+			return err
+		}
+		for _, n := range r.Histogram.Counts {
+			if _, err := fmt.Fprintf(w, ",%d", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pandia/internal/faults"
+)
+
+func TestConvergenceStudy(t *testing.T) {
+	h := x32Harness(t)
+	entries := noiseEntries(t)
+	c, err := ConvergenceStudy(h, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != len(entries) {
+		t.Fatalf("rows = %d, want %d", len(c.Rows), len(entries))
+	}
+	var total int64
+	for _, r := range c.Rows {
+		if r.Placements != len(h.Placements()) {
+			t.Errorf("%s: %d placements, want %d", r.Workload, r.Placements, len(h.Placements()))
+		}
+		if r.MeanIterations < 1 || r.MaxIterations < 1 {
+			t.Errorf("%s: degenerate iteration stats %+v", r.Workload, r)
+		}
+		if r.Unconverged != 0 {
+			t.Errorf("%s: %d unconverged strict predictions", r.Workload, r.Unconverged)
+		}
+		var bucketSum int64
+		for _, n := range r.Histogram.Counts {
+			bucketSum += n
+		}
+		if bucketSum != r.Histogram.Count {
+			t.Errorf("%s: buckets sum to %d, count is %d", r.Workload, bucketSum, r.Histogram.Count)
+		}
+		total += r.Histogram.Count
+	}
+	if c.Overall.Count != total {
+		t.Errorf("overall count %d, rows sum to %d", c.Overall.Count, total)
+	}
+
+	var table, csv strings.Builder
+	if err := RenderConvergence(&table, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "MD") || !strings.Contains(table.String(), "(all)") {
+		t.Errorf("table missing content:\n%s", table.String())
+	}
+	if err := WriteConvergenceCSV(&csv, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(entries)+1 || !strings.HasPrefix(lines[0], "workload,") {
+		t.Errorf("csv shape wrong:\n%s", csv.String())
+	}
+}
+
+// TestNoiseQualityRollups checks that the resilience sweep surfaces the
+// measurement-quality totals: the robust pipeline's rollup must account for
+// at least Repeats attempts per profiling step, and under injected faults
+// it must show retry pressure (more attempts than the naive pipeline made
+// runs).
+func TestNoiseQualityRollups(t *testing.T) {
+	h := x32Harness(t)
+	n, err := NoiseResilience(h, noiseEntries(t)[:1], []float64{0.1}, faults.RobustDefaults(), 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Points[0]
+	if p.RobustQuality.Attempts == 0 || p.RobustQuality.Used == 0 {
+		t.Fatalf("robust quality rollup empty: %+v", p.RobustQuality)
+	}
+	if p.RobustQuality.Attempts <= p.NaiveQuality.Attempts {
+		t.Errorf("robust attempts %d not above naive %d",
+			p.RobustQuality.Attempts, p.NaiveQuality.Attempts)
+	}
+	if p.RobustQuality.Failures+p.RobustQuality.Invalid == 0 {
+		t.Errorf("no retry pressure recorded at 10%% fault rate: %+v", p.RobustQuality)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"pandia/internal/obs"
 )
 
 // Report is the machine-readable form of a full evaluation run, for
@@ -23,6 +25,15 @@ type Report struct {
 	Turbo *TurboCurves `json:"turbo,omitempty"`
 	// Noise is the profiling-fault resilience sweep (robustness study).
 	Noise *NoiseResult `json:"noise,omitempty"`
+	// Convergence is the solver convergence study: iteration-count
+	// distributions across the paper's placement sets.
+	Convergence *ConvergenceResult `json:"convergence,omitempty"`
+	// Metrics is the process-wide observability snapshot taken when the
+	// report was written: predictor, scheduler, and fault-measurement
+	// counters (e.g. faults.measure.retries / faults.measure.outliers), so
+	// quality totals survive into report.json even when no CSV was asked
+	// for.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // NewReport allocates an empty report.

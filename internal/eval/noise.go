@@ -38,6 +38,13 @@ type NoisePoint struct {
 	// profiling runs consumed, including retry and backoff accounting.
 	NaiveCost  float64 `json:"naiveCost"`
 	RobustCost float64 `json:"robustCost"`
+	// NaiveQuality / RobustQuality roll each pipeline's per-profile
+	// measurement quality reports (attempts, failures, invalid samples,
+	// outlier rejections) up over every successful profile at this rate.
+	// Profiles that failed outright contribute only to the registry's
+	// process-wide faults.measure.* counters, not to these rollups.
+	NaiveQuality  faults.Report `json:"naiveQuality"`
+	RobustQuality faults.Report `json:"robustQuality"`
 }
 
 // NoiseResult is the full resilience sweep on one machine.
@@ -129,6 +136,7 @@ func NoiseResilience(h *Harness, entries []bench.Entry, rates []float64, pol fau
 					pt.NaiveMeanErr += NoisePenaltyErr
 				} else {
 					pt.NaiveCost += prof.Cost
+					pt.NaiveQuality.Merge(prof.Quality)
 					if pred, err := h.PredictAll(&prof.Workload); err != nil {
 						pt.NaiveFailures++
 						pt.NaiveMeanErr += NoisePenaltyErr
@@ -143,6 +151,7 @@ func NoiseResilience(h *Harness, entries []bench.Entry, rates []float64, pol fau
 					pt.RobustMeanErr += NoisePenaltyErr
 				} else {
 					pt.RobustCost += prof.Cost
+					pt.RobustQuality.Merge(prof.Quality)
 					if pred, degraded, err := h.PredictAllDegraded(&prof.Workload); err != nil {
 						pt.RobustFailures++
 						pt.RobustMeanErr += NoisePenaltyErr
@@ -167,14 +176,15 @@ func RenderNoise(w io.Writer, n *NoiseResult) error {
 	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title))); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%6s %12s %12s %9s %9s %9s %11s %11s\n",
-		"rate", "naiveErr%", "robustErr%", "naiveFail", "robFail", "degraded", "naiveCost", "robCost"); err != nil {
+	if _, err := fmt.Fprintf(w, "%6s %12s %12s %9s %9s %9s %9s %9s %11s %11s\n",
+		"rate", "naiveErr%", "robustErr%", "naiveFail", "robFail", "degraded", "robRetry", "robOutlr", "naiveCost", "robCost"); err != nil {
 		return err
 	}
 	for _, p := range n.Points {
-		if _, err := fmt.Fprintf(w, "%6.2f %12.2f %12.2f %9d %9d %9d %11.0f %11.0f\n",
+		if _, err := fmt.Fprintf(w, "%6.2f %12.2f %12.2f %9d %9d %9d %9d %9d %11.0f %11.0f\n",
 			p.Rate, p.NaiveMeanErr, p.RobustMeanErr,
 			p.NaiveFailures, p.RobustFailures, p.Degraded,
+			p.RobustQuality.Failures+p.RobustQuality.Invalid, p.RobustQuality.Outliers,
 			p.NaiveCost, p.RobustCost); err != nil {
 			return err
 		}
@@ -184,13 +194,15 @@ func RenderNoise(w io.Writer, n *NoiseResult) error {
 
 // WriteNoiseCSV writes the sweep in CSV form for plotting.
 func WriteNoiseCSV(w io.Writer, n *NoiseResult) error {
-	if _, err := fmt.Fprintf(w, "rate,naiveMeanErr,robustMeanErr,naiveFailures,robustFailures,degraded,naiveCost,robustCost,baselineErr\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "rate,naiveMeanErr,robustMeanErr,naiveFailures,robustFailures,degraded,robustAttempts,robustRunFailures,robustInvalid,robustOutliers,naiveCost,robustCost,baselineErr\n"); err != nil {
 		return err
 	}
 	for _, p := range n.Points {
-		if _, err := fmt.Fprintf(w, "%g,%g,%g,%d,%d,%d,%g,%g,%g\n",
+		if _, err := fmt.Fprintf(w, "%g,%g,%g,%d,%d,%d,%d,%d,%d,%d,%g,%g,%g\n",
 			p.Rate, p.NaiveMeanErr, p.RobustMeanErr,
 			p.NaiveFailures, p.RobustFailures, p.Degraded,
+			p.RobustQuality.Attempts, p.RobustQuality.Failures,
+			p.RobustQuality.Invalid, p.RobustQuality.Outliers,
 			p.NaiveCost, p.RobustCost, n.BaselineErr); err != nil {
 			return err
 		}

@@ -105,6 +105,7 @@ func AttemptSeed(base int64, attempt int) int64 {
 // returns an error only when no attempt produced a usable run.
 func Measure(r simhw.Runner, cfg simhw.RunConfig, pol Policy) (simhw.RunResult, Report, error) {
 	var rep Report
+	defer func() { record(&rep, pol.repeats()) }()
 	if !pol.Robust() {
 		rep.Attempts = 1
 		res, err := r.Run(cfg)

@@ -1,0 +1,30 @@
+package faults
+
+import "pandia/internal/obs"
+
+// Metric handles for the measurement pipeline, resolved once at package
+// init. Measure flushes one quality report per logical measurement; the
+// totals let an operator see retry and outlier pressure across a whole
+// evaluation run even when per-point records are not exported.
+var (
+	metAttempts  = obs.Default().Counter("faults.measure.attempts")
+	metRetries   = obs.Default().Counter("faults.measure.retries")
+	metFailures  = obs.Default().Counter("faults.measure.failures")
+	metInvalid   = obs.Default().Counter("faults.measure.invalid")
+	metOutliers  = obs.Default().Counter("faults.measure.outliers")
+	metExhausted = obs.Default().Counter("faults.measure.exhausted")
+)
+
+// record publishes one measurement's quality report to the metrics
+// registry. planned is the number of attempts the policy wanted (Repeats);
+// anything beyond it was a retry forced by failures or invalid samples.
+func record(rep *Report, planned int) {
+	metAttempts.Add(int64(rep.Attempts))
+	metRetries.Add(int64(rep.Attempts - planned))
+	metFailures.Add(int64(rep.Failures))
+	metInvalid.Add(int64(rep.Invalid))
+	metOutliers.Add(int64(rep.Outliers))
+	if rep.Exhausted {
+		metExhausted.Inc()
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// TraceLabels resolves producer-defined identifiers (job indices, resource
+// kinds, load-vector slots) to human-readable names during export. Any
+// field may be nil; numeric fallbacks are used. obs stays topology-agnostic
+// — the prediction core passes resolvers built on topology.ResourceKind.
+type TraceLabels struct {
+	// Job names a job index (Chrome trace thread rows). Nil: "job N".
+	Job func(job int32) string
+	// Resource names a dominant resource (kind, instance index).
+	// Nil: "res K/I".
+	Resource func(res, index int32) string
+	// Load names slot k of the Event.Loads vector; returning "" drops the
+	// slot from the export. Nil: every slot as "loadK".
+	Load func(slot int) string
+}
+
+func (l TraceLabels) jobName(job int32) string {
+	if l.Job != nil {
+		return l.Job(job)
+	}
+	return fmt.Sprintf("job %d", job)
+}
+
+func (l TraceLabels) resourceName(res, index int32) string {
+	if l.Resource != nil {
+		return l.Resource(res, index)
+	}
+	return fmt.Sprintf("res %d/%d", res, index)
+}
+
+func (l TraceLabels) loadName(slot int) string {
+	if l.Load != nil {
+		return l.Load(slot)
+	}
+	return fmt.Sprintf("load%d", slot)
+}
+
+// chromeEvent is one trace_event record. Fields marshal in declaration
+// order and json.Marshal sorts map keys, so the output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders events in Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Each job becomes a thread
+// row: solves appear as B/E duration slices, each iteration contributes a
+// "solver loads" counter series (per-resource-kind utilisation plus the
+// convergence residual) and an instant marking the dominant resource.
+// Timestamps convert from the tracer clock's seconds to microseconds.
+func WriteChromeTrace(w io.Writer, events []Event, labels TraceLabels) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, 2*len(events))}
+	for _, e := range events {
+		ts := e.Time * 1e6
+		switch e.Kind {
+		case EvPredictStart:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "solve " + labels.jobName(e.Job),
+				Ph:   "B", Ts: ts, Pid: 0, Tid: e.Job,
+				Args: map[string]any{"threads": e.Arg},
+			})
+		case EvIteration:
+			counter := map[string]any{"residual": e.Residual, "slowdown": e.Factor}
+			for k := 0; k < MaxLoadKinds; k++ {
+				name := labels.loadName(k)
+				if name == "" {
+					continue
+				}
+				counter[name] = e.Loads[k]
+			}
+			trace.TraceEvents = append(trace.TraceEvents,
+				chromeEvent{
+					Name: "solver loads " + labels.jobName(e.Job),
+					Ph:   "C", Ts: ts, Pid: 0, Tid: e.Job,
+					Args: counter,
+				},
+				chromeEvent{
+					Name: fmt.Sprintf("iter %d: %s", e.Iter, labels.resourceName(e.Res, e.ResIndex)),
+					Ph:   "i", Ts: ts, Pid: 0, Tid: e.Job, S: "t",
+					Args: map[string]any{"iteration": e.Iter, "residual": e.Residual},
+				},
+			)
+		case EvPredictEnd:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "solve " + labels.jobName(e.Job),
+				Ph:   "E", Ts: ts, Pid: 0, Tid: e.Job,
+				Args: map[string]any{"iterations": e.Iter, "converged": e.Arg != 0},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// jsonlEvent is the compact JSONL record for one event. Zero-valued
+// kind-specific fields are omitted, so iteration lines carry the solver
+// state and start/end lines stay one token wide.
+type jsonlEvent struct {
+	Kind     string             `json:"kind"`
+	Time     float64            `json:"t"`
+	Job      int32              `json:"job"`
+	Iter     int32              `json:"iter,omitempty"`
+	Threads  int32              `json:"threads,omitempty"`
+	Converge *bool              `json:"converged,omitempty"`
+	Residual float64            `json:"residual,omitempty"`
+	Factor   float64            `json:"slowdown,omitempty"`
+	Dominant string             `json:"dominant,omitempty"`
+	Loads    map[string]float64 `json:"loads,omitempty"`
+}
+
+// WriteJSONL streams events as one JSON object per line — the compact
+// machine-readable form of the trace. Zero loads are dropped; map keys
+// marshal sorted, so the stream is deterministic.
+func WriteJSONL(w io.Writer, events []Event, labels TraceLabels) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		rec := jsonlEvent{Kind: e.Kind.String(), Time: e.Time, Job: e.Job}
+		switch e.Kind {
+		case EvPredictStart:
+			rec.Threads = e.Arg
+		case EvIteration:
+			rec.Iter = e.Iter
+			rec.Residual = e.Residual
+			rec.Factor = e.Factor
+			rec.Dominant = labels.resourceName(e.Res, e.ResIndex)
+			for k := 0; k < MaxLoadKinds; k++ {
+				name := labels.loadName(k)
+				if name == "" || e.Loads[k] == 0 {
+					continue
+				}
+				if rec.Loads == nil {
+					rec.Loads = make(map[string]float64)
+				}
+				rec.Loads[name] = e.Loads[k]
+			}
+		case EvPredictEnd:
+			rec.Iter = e.Iter
+			conv := e.Arg != 0
+			rec.Converge = &conv
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot renders a registry snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// Handler returns an expvar-style HTTP handler: a flat JSON object mapping
+// metric names to values (counters and gauges as numbers, histograms as
+// {count, sum, bounds, counts} objects), keys sorted. Mount it wherever
+// /debug/vars would go.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s := r.Snapshot()
+		flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+		for _, c := range s.Counters {
+			flat[c.Name] = c.Value
+		}
+		for _, g := range s.Gauges {
+			flat[g.Name] = g.Value
+		}
+		for _, h := range s.Histograms {
+			flat[h.Name] = map[string]any{
+				"count": h.Count, "sum": h.Sum, "bounds": h.Bounds, "counts": h.Counts,
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		// The ResponseWriter owns delivery failures; nothing useful to do here.
+		_ = enc.Encode(flat)
+	})
+}

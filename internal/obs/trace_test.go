@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(10, 0.5)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("first Now() = %g, want 10", got)
+	}
+	if got := c.Now(); got != 10.5 {
+		t.Fatalf("second Now() = %g, want 10.5", got)
+	}
+	c.Advance(2)
+	if got := c.Now(); got != 13 {
+		t.Fatalf("Now() after Advance(2) = %g, want 13", got)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := WallClock()
+	a := c.Now()
+	b := c.Now()
+	if a < 0 || b < a {
+		t.Fatalf("wall clock not monotonic: %g then %g", a, b)
+	}
+}
+
+func TestRingTracerOrderAndWrap(t *testing.T) {
+	tr := NewRingTracer(3, nil)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EvIteration, Iter: int32(i)})
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len(Events()) = %d, want 3", len(ev))
+	}
+	var iters []int32
+	for _, e := range ev {
+		iters = append(iters, e.Iter)
+	}
+	if !reflect.DeepEqual(iters, []int32{2, 3, 4}) {
+		t.Fatalf("ring order = %v, want oldest-first [2 3 4]", iters)
+	}
+	if got := tr.Overwritten(); got != 2 {
+		t.Fatalf("Overwritten() = %d, want 2", got)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Overwritten() != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestRingTracerClockStampsAndDisable(t *testing.T) {
+	tr := NewRingTracer(8, NewManualClock(1, 1))
+	tr.Emit(Event{Kind: EvPredictStart})
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Fatal("Enabled() after SetEnabled(false)")
+	}
+	tr.Emit(Event{Kind: EvIteration}) // dropped
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: EvPredictEnd})
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("len(Events()) = %d, want 2 (disabled emit must drop)", len(ev))
+	}
+	if ev[0].Time != 1 || ev[1].Time != 2 {
+		t.Fatalf("clock stamps = %g, %g; want 1, 2", ev[0].Time, ev[1].Time)
+	}
+}
+
+func TestRingTracerConcurrent(t *testing.T) {
+	tr := NewRingTracer(64, NewManualClock(0, 0.001))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: EvIteration, Job: int32(w), Iter: int32(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 64 {
+		t.Fatalf("len(Events()) = %d, want full ring of 64", got)
+	}
+	if got := tr.Overwritten(); got != 4*100-64 {
+		t.Fatalf("Overwritten() = %d, want %d", got, 4*100-64)
+	}
+}
+
+func testEvents() []Event {
+	return []Event{
+		{Kind: EvPredictStart, Job: 0, Arg: 4, Time: 0},
+		{Kind: EvIteration, Job: 0, Iter: 1, Res: 5, ResIndex: 0, Time: 0.001,
+			Residual: 0.25, Factor: 1.5, Loads: [MaxLoadKinds]float64{0: 0.5, 5: 1.5}},
+		{Kind: EvIteration, Job: 0, Iter: 2, Res: 5, ResIndex: 0, Time: 0.002,
+			Residual: 0, Factor: 1.4, Loads: [MaxLoadKinds]float64{0: 0.5, 5: 1.4}},
+		{Kind: EvPredictEnd, Job: 0, Iter: 2, Arg: 1, Time: 0.003},
+	}
+}
+
+func testLabels() TraceLabels {
+	names := []string{"instr", "l1", "l2", "l3-link", "l3-agg", "dram", "interconnect"}
+	return TraceLabels{
+		Job:      func(job int32) string { return "wl" },
+		Resource: func(res, index int32) string { return names[res] },
+		Load: func(slot int) string {
+			if slot >= len(names) {
+				return ""
+			}
+			return names[slot]
+		},
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// B, (C+i)×2, E = 6 events.
+	if len(trace.TraceEvents) != 6 {
+		t.Fatalf("got %d trace events, want 6", len(trace.TraceEvents))
+	}
+	phases := ""
+	for _, e := range trace.TraceEvents {
+		phases += e.Ph
+	}
+	if phases != "BCiCiE" {
+		t.Fatalf("phase sequence = %q, want BCiCiE", phases)
+	}
+	if trace.TraceEvents[0].Args["threads"] != float64(4) {
+		t.Fatalf("start args = %v", trace.TraceEvents[0].Args)
+	}
+	if trace.TraceEvents[1].Args["dram"] != 1.5 || trace.TraceEvents[1].Args["residual"] != 0.25 {
+		t.Fatalf("counter args = %v", trace.TraceEvents[1].Args)
+	}
+	if trace.TraceEvents[5].Args["converged"] != true {
+		t.Fatalf("end args = %v", trace.TraceEvents[5].Args)
+	}
+	if trace.TraceEvents[1].Ts != 1000 { // 0.001 s → 1000 µs
+		t.Fatalf("iteration ts = %g µs, want 1000", trace.TraceEvents[1].Ts)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[0]["kind"] != "predict-start" || lines[0]["threads"] != float64(4) {
+		t.Fatalf("start line = %v", lines[0])
+	}
+	it := lines[1]
+	if it["kind"] != "iteration" || it["dominant"] != "dram" {
+		t.Fatalf("iteration line = %v", it)
+	}
+	loads := it["loads"].(map[string]any)
+	if len(loads) != 2 || loads["instr"] != 0.5 || loads["dram"] != 1.5 {
+		t.Fatalf("loads = %v (zero slots must be dropped)", loads)
+	}
+	if lines[3]["kind"] != "predict-end" || lines[3]["converged"] != true {
+		t.Fatalf("end line = %v", lines[3])
+	}
+	// The second iteration has residual 0 — omitted by omitempty.
+	if _, present := lines[2]["residual"]; present {
+		t.Fatalf("zero residual serialised: %v", lines[2])
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvPredictStart: "predict-start",
+		EvIteration:    "iteration",
+		EvPredictEnd:   "predict-end",
+		EventKind(99):  "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestWriteSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("a") != 1 {
+		t.Fatalf("round-trip snapshot = %+v", s)
+	}
+}

@@ -9,6 +9,18 @@ import (
 	"pandia/internal/topology"
 )
 
+// JobDelta records one running job's predicted execution time before and
+// after a candidate move — the evidence behind the move's gain.
+type JobDelta struct {
+	JobID string
+	// Before and After are the job's predicted times under the joint model
+	// in the current state and with the move applied.
+	//pandia:unit seconds
+	Before float64
+	//pandia:unit seconds
+	After float64
+}
+
 // Move is one piece of rebalancing advice: re-placing a running job is
 // predicted to improve the mix's aggregate speedup by Gain (a fraction,
 // e.g. 0.07 = 7%). The scheduler never moves threads itself — migration
@@ -20,19 +32,41 @@ type Move struct {
 	Strategy string
 	// Gain is the predicted relative improvement of aggregate speedup.
 	Gain float64
+	// Deltas holds every running job's predicted time before/after this
+	// move (the moved job included), in job-ID order — why the move helps,
+	// and who pays for it.
+	Deltas []JobDelta
 }
 
-// RebalanceAdvice evaluates, for every running job, whether re-placing it
-// over the currently free contexts (plus its own) would improve the
-// predicted aggregate speedup of the whole mix by at least minGain.
-// Moves are evaluated independently against the current state and returned
-// sorted by decreasing gain; applying one invalidates the others.
-func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
+// RebalanceReport is the full outcome of one rebalancing evaluation: the
+// jobs considered, their current predicted times, the aggregate score they
+// were measured against, and the advised moves sorted by decreasing gain.
+type RebalanceReport struct {
+	// JobIDs lists the running jobs at evaluation time, sorted.
+	JobIDs []string
+	// BaseTimes[i] is JobIDs[i]'s predicted time in the current state.
+	//pandia:unit seconds
+	BaseTimes []float64
+	// BaseScore is the current aggregate predicted throughput (the sum of
+	// per-job speedups every candidate move is scored against).
+	BaseScore float64
+	// Moves is the advice, best first. Applying one invalidates the rest.
+	Moves []Move
+}
+
+// Rebalance evaluates, for every running job, whether re-placing it over
+// the currently free contexts (plus its own) would improve the predicted
+// aggregate speedup of the whole mix by at least minGain. Moves are
+// evaluated independently against the current state and returned sorted by
+// decreasing gain, each carrying the per-job before/after predicted times
+// it was justified by. A scheduler with nothing running returns (nil, nil).
+func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.running) == 0 {
 		return nil, nil
 	}
+	metRebalanceRuns.Inc()
 
 	ids := make([]string, 0, len(s.running))
 	for id := range s.running {
@@ -50,8 +84,15 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 		return nil, err
 	}
 	baseScore := aggregateThroughput(baseCo)
+	rep := &RebalanceReport{
+		JobIDs:    ids,
+		BaseTimes: make([]float64, len(ids)),
+		BaseScore: baseScore,
+	}
+	for i := range ids {
+		rep.BaseTimes[i] = baseCo.Predictions[i].Time
+	}
 
-	var moves []Move
 	for i, id := range ids {
 		a := s.running[id]
 		// The job may move anywhere that is free or its own.
@@ -78,15 +119,34 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 			}
 			gain := aggregateThroughput(co)/baseScore - 1
 			if gain >= minGain {
-				moves = append(moves, Move{
+				deltas := make([]JobDelta, len(ids))
+				for k := range ids {
+					deltas[k] = JobDelta{
+						JobID:  ids[k],
+						Before: rep.BaseTimes[k],
+						After:  co.Predictions[k].Time,
+					}
+				}
+				rep.Moves = append(rep.Moves, Move{
 					JobID: id, From: a.Placement, To: cand,
-					Strategy: gen.name, Gain: gain,
+					Strategy: gen.name, Gain: gain, Deltas: deltas,
 				})
 			}
 		}
 	}
-	sort.Slice(moves, func(a, b int) bool { return moves[a].Gain > moves[b].Gain })
-	return moves, nil
+	sort.Slice(rep.Moves, func(a, b int) bool { return rep.Moves[a].Gain > rep.Moves[b].Gain })
+	metRebalanceMoves.Add(int64(len(rep.Moves)))
+	return rep, nil
+}
+
+// RebalanceAdvice returns just the advised moves of Rebalance — the
+// original advisory API, kept for callers that don't need the report.
+func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
+	rep, err := s.Rebalance(minGain)
+	if err != nil || rep == nil {
+		return nil, err
+	}
+	return rep.Moves, nil
 }
 
 // ApplyMove commits one advised move, re-pinning the job's threads.
@@ -117,6 +177,7 @@ func (s *Scheduler) ApplyMove(m Move) error {
 		s.occupied[c] = m.JobID
 	}
 	a.Placement = append(placement.Placement(nil), m.To...)
+	metRebalanceApplied.Inc()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pandia/internal/analysis/leaktest"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -78,6 +79,82 @@ func TestRebalanceRecoversFromBadPlacement(t *testing.T) {
 	}
 	if len(again) != 0 {
 		t.Fatalf("advisor still unhappy after recovery: %+v", again)
+	}
+}
+
+// TestRebalanceReport pins the visibility satellite: every advised move
+// must carry per-job before/after predicted times for the whole mix, the
+// report must name the jobs and their base times, and the metrics registry
+// must record the run.
+func TestRebalanceReport(t *testing.T) {
+	defer leaktest.Check(t)()
+	base := obs.Default().Snapshot()
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := computeJob("c1")
+	j.Threads = 8
+	a, err := s.Submit(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packed placement.Placement
+	for core := 0; core < 4; core++ {
+		for slot := 0; slot < 2; slot++ {
+			packed = append(packed, pandiaCtx(0, core, slot))
+		}
+	}
+	if err := s.ApplyMove(Move{JobID: "c1", From: a.Placement, To: packed}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Rebalance(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Moves) == 0 {
+		t.Fatal("no report for a recoverable bad placement")
+	}
+	if len(rep.JobIDs) != 1 || rep.JobIDs[0] != "c1" || len(rep.BaseTimes) != 1 {
+		t.Fatalf("report jobs = %v, times = %v", rep.JobIDs, rep.BaseTimes)
+	}
+	if rep.BaseScore <= 0 || rep.BaseTimes[0] <= 0 {
+		t.Fatalf("degenerate base: %+v", rep)
+	}
+	for _, m := range rep.Moves {
+		if len(m.Deltas) != len(rep.JobIDs) {
+			t.Fatalf("move %+v: %d deltas for %d jobs", m, len(m.Deltas), len(rep.JobIDs))
+		}
+		for k, d := range m.Deltas {
+			if d.JobID != rep.JobIDs[k] {
+				t.Errorf("delta %d names %q, want %q", k, d.JobID, rep.JobIDs[k])
+			}
+			if d.Before != rep.BaseTimes[k] {
+				t.Errorf("delta %d before = %g, base time = %g", k, d.Before, rep.BaseTimes[k])
+			}
+			if d.After <= 0 {
+				t.Errorf("delta %d after = %g", k, d.After)
+			}
+		}
+	}
+	// The single-job mix improves: the best move must predict a faster time
+	// for the moved job, consistent with its positive gain.
+	best := rep.Moves[0]
+	if best.Deltas[0].After >= best.Deltas[0].Before {
+		t.Errorf("best move gains %.3f but time goes %g -> %g",
+			best.Gain, best.Deltas[0].Before, best.Deltas[0].After)
+	}
+
+	snap := obs.Default().Snapshot()
+	if d := snap.Counter("scheduler.rebalance.runs") - base.Counter("scheduler.rebalance.runs"); d != 1 {
+		t.Errorf("rebalance.runs grew by %d, want 1", d)
+	}
+	if d := snap.Counter("scheduler.rebalance.moves_advised") - base.Counter("scheduler.rebalance.moves_advised"); d != int64(len(rep.Moves)) {
+		t.Errorf("moves_advised grew by %d, want %d", d, len(rep.Moves))
+	}
+	if d := snap.Counter("scheduler.submissions") - base.Counter("scheduler.submissions"); d != 1 {
+		t.Errorf("submissions grew by %d, want 1", d)
 	}
 }
 

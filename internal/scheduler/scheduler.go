@@ -21,8 +21,19 @@ import (
 	"pandia/internal/core"
 	"pandia/internal/counters"
 	"pandia/internal/machine"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
+)
+
+// Metric handles for the scheduler (catalogued in DESIGN.md §9).
+var (
+	metSubmissions      = obs.Default().Counter("scheduler.submissions")
+	metRejections       = obs.Default().Counter("scheduler.rejections")
+	metRunningJobs      = obs.Default().Gauge("scheduler.running_jobs")
+	metRebalanceRuns    = obs.Default().Counter("scheduler.rebalance.runs")
+	metRebalanceMoves   = obs.Default().Counter("scheduler.rebalance.moves_advised")
+	metRebalanceApplied = obs.Default().Counter("scheduler.rebalance.moves_applied")
 )
 
 // Job is a unit of admission: a profiled workload wanting threads.
@@ -121,7 +132,16 @@ func (s *Scheduler) Assignments() []*Assignment {
 
 // Submit admits a job: it evaluates candidate placements over the free
 // contexts jointly with everything running and commits the best one.
-func (s *Scheduler) Submit(job Job) (*Assignment, error) {
+// Every admission bumps scheduler.submissions, every failure (validation,
+// no feasible placement, admission threshold) scheduler.rejections.
+func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
+	defer func() {
+		if err != nil {
+			metRejections.Inc()
+		} else {
+			metSubmissions.Inc()
+		}
+	}()
 	if job.ID == "" {
 		return nil, fmt.Errorf("scheduler: job needs an ID")
 	}
@@ -216,6 +236,7 @@ func (s *Scheduler) Submit(job Job) (*Assignment, error) {
 	for _, c := range best.Placement {
 		s.occupied[c] = job.ID
 	}
+	metRunningJobs.Set(float64(len(s.running)))
 	return best, nil
 }
 
@@ -231,6 +252,7 @@ func (s *Scheduler) Remove(jobID string) error {
 		delete(s.occupied, c)
 	}
 	delete(s.running, jobID)
+	metRunningJobs.Set(float64(len(s.running)))
 	return nil
 }
 
