@@ -13,7 +13,7 @@ GO ?= go
 # The benchmarks whose trajectory BENCH_core.json tracks.
 BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
 
-.PHONY: check test vet pandia-vet fuzz fuzz-smoke bench bench-smoke bench-gate build
+.PHONY: check test vet pandia-vet alloccheck fuzz fuzz-smoke bench bench-smoke bench-gate build
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,15 @@ pandia-vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/pandia-vet ./...
 
+# alloccheck alone: the static zero-allocation proof of the annotated
+# //pandia:noalloc hot path (PredictTime, iterate, the obs updates).
+alloccheck:
+	$(GO) run ./cmd/pandia-vet -only alloccheck ./...
+
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/pandia-vet ./...
+	$(GO) run ./cmd/pandia-vet -only alloccheck ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-gate

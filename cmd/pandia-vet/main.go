@@ -1,7 +1,8 @@
 // Command pandia-vet is the repository's static-analysis multichecker. It
 // runs the custom passes under internal/analysis — unitcheck, unitflow,
-// lockcheck, leakcheck, detlint, nanguard, mutcheck, errlint — over module
-// packages and exits non-zero if any finding is reported.
+// lockcheck, leakcheck, detlint, detflow, nanguard, mutcheck, errlint,
+// alloccheck — over module packages and exits non-zero if any finding is
+// reported.
 //
 // Usage:
 //
@@ -12,6 +13,12 @@
 // may restrict itself to the packages it is meant for (e.g. detlint guards
 // only the prediction core); -all overrides the restrictions and runs every
 // analyzer everywhere.
+//
+// A baseline file freezes the currently accepted findings so new code is
+// held to the bar without first paying down old findings: -write-baseline
+// records every current finding as JSON, and -baseline makes later runs
+// fail only on findings not in that file (matched by analyzer, file, and
+// message — line numbers may drift as files are edited).
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"strings"
 
 	"pandia/internal/analysis"
+	"pandia/internal/analysis/alloccheck"
+	"pandia/internal/analysis/detflow"
 	"pandia/internal/analysis/detlint"
 	"pandia/internal/analysis/errlint"
 	"pandia/internal/analysis/leakcheck"
@@ -39,9 +48,11 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	leakcheck.Analyzer,
 	detlint.Analyzer,
+	detflow.Analyzer,
 	nanguard.Analyzer,
 	mutcheck.Analyzer,
 	errlint.Analyzer,
+	alloccheck.Analyzer,
 }
 
 func main() {
@@ -52,6 +63,9 @@ func main() {
 		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 		verbose = flag.Bool("v", false, "print each package as it is checked")
 		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout instead of text")
+
+		baseline      = flag.String("baseline", "", "JSON baseline file: fail only on findings not recorded in it")
+		writeBaseline = flag.String("write-baseline", "", "write every current finding to this JSON baseline file and exit 0")
 	)
 	flag.Parse()
 
@@ -97,13 +111,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	hardErrors := 0
 	var report []jsonDiagnostic
 	for _, path := range pkgs {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pandia-vet: %v\n", err)
-			findings++
+			hardErrors++
 			continue
 		}
 		if *verbose {
@@ -116,7 +130,7 @@ func main() {
 			diags, err := analysis.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pandia-vet: %v\n", err)
-				findings++
+				hardErrors++
 				continue
 			}
 			for _, d := range diags {
@@ -125,22 +139,38 @@ func main() {
 				if rerr != nil {
 					rel = pos.Filename
 				}
-				if *jsonOut {
-					report = append(report, jsonDiagnostic{
-						File:     filepath.ToSlash(rel),
-						Line:     pos.Line,
-						Column:   pos.Column,
-						Analyzer: a.Name,
-						Package:  path,
-						Message:  d.Message,
-					})
-				} else {
-					fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, a.Name, d.Message)
-				}
-				findings++
+				report = append(report, jsonDiagnostic{
+					File:     filepath.ToSlash(rel),
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: a.Name,
+					Package:  path,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
+
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, report); err != nil {
+			fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "pandia-vet: wrote %d finding(s) to %s\n", len(report), *writeBaseline)
+		if hardErrors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *baseline != "" {
+		kept, err := applyBaseline(*baseline, report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pandia-vet:", err)
+			os.Exit(2)
+		}
+		report = kept
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -151,10 +181,67 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pandia-vet:", err)
 			os.Exit(2)
 		}
+	} else {
+		for _, d := range report {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
 	}
-	if findings > 0 {
+	if len(report) > 0 || hardErrors > 0 {
 		os.Exit(1)
 	}
+}
+
+// baselineKey identifies a finding across line-number drift: the analyzer,
+// the file, and the exact message. Counts are multiset semantics — two
+// identical findings in one file need two baseline entries.
+func baselineKey(d jsonDiagnostic) string {
+	return d.Analyzer + "\x00" + d.File + "\x00" + d.Message
+}
+
+// saveBaseline writes the findings as an indented JSON array.
+func saveBaseline(path string, report []jsonDiagnostic) error {
+	if report == nil {
+		report = []jsonDiagnostic{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// applyBaseline filters out findings recorded in the baseline file,
+// returning only the new ones. Each baseline entry absolves at most one
+// finding with the same analyzer, file, and message.
+func applyBaseline(path string, report []jsonDiagnostic) ([]jsonDiagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []jsonDiagnostic
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	budget := make(map[string]int, len(base))
+	for _, d := range base {
+		budget[baselineKey(d)]++
+	}
+	var kept []jsonDiagnostic
+	for _, d := range report {
+		k := baselineKey(d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
 }
 
 // jsonDiagnostic is the -json wire format: one finding per element, with the

@@ -1,0 +1,12 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/alloccheck"
+	"pandia/internal/analysis/analysistest"
+)
+
+func TestAlloccheckFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", alloccheck.Analyzer, "a")
+}

@@ -1,0 +1,479 @@
+package alloccheck
+
+// This file scans one function body for local allocation sites — every
+// construct through which Go allocates. The scan is purely syntactic plus
+// go/types: it never guesses about escape analysis, so it over-approximates
+// (a slice literal that the compiler stack-allocates is still a site);
+// deliberate cold-path allocations are suppressed with //alloccheck:ok.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pandia/internal/analysis/callgraph"
+)
+
+// collect builds a node's funcInfo: local allocation sites and the call
+// edges that survive //alloccheck:ok suppression. Test-file functions
+// contribute nothing.
+func (c *checker) collect(n *callgraph.Node) *funcInfo {
+	in := &funcInfo{}
+	if c.pass.IsTestFile(n.Pos()) {
+		return in
+	}
+	for _, e := range n.Edges {
+		if !c.suppressed(e.Pos) {
+			in.edges = append(in.edges, e)
+		}
+	}
+	s := &siteScan{c: c, n: n, info: n.Pkg.Info, out: in}
+	s.results = nodeResults(n)
+	s.scan(n.Body(), false)
+	return in
+}
+
+// nodeResults returns the node's result tuple for return-boxing checks.
+func nodeResults(n *callgraph.Node) *types.Tuple {
+	var sig *types.Signature
+	if n.Func != nil {
+		sig, _ = n.Func.Type().(*types.Signature)
+	} else if tv, ok := n.Pkg.Info.Types[n.Lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	if sig == nil {
+		return nil
+	}
+	return sig.Results()
+}
+
+type siteScan struct {
+	c       *checker
+	n       *callgraph.Node
+	info    *types.Info
+	out     *funcInfo
+	results *types.Tuple
+}
+
+// add records one site unless its line is suppressed.
+func (s *siteScan) add(pos token.Pos, desc string) {
+	if s.c.suppressed(pos) {
+		return
+	}
+	s.out.sites = append(s.out.sites, site{pos: pos, desc: desc})
+}
+
+func (s *siteScan) typeOf(e ast.Expr) types.Type {
+	if tv, ok := s.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMap reports whether e has map type.
+func (s *siteScan) isMap(e ast.Expr) bool {
+	t := s.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// concrete reports whether e is a non-interface, non-nil value — the kind
+// that boxes when converted to an interface. Type parameters are excluded:
+// whether an instantiation boxes depends on the type argument.
+func (s *siteScan) concrete(e ast.Expr) bool {
+	tv, ok := s.info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if _, isTP := tv.Type.(*types.TypeParam); isTP {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func isInterface(t types.Type) bool { return t != nil && types.IsInterface(t) }
+
+// shortType renders a type with compressed package qualifiers.
+func shortType(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string {
+		path := p.Path()
+		if i := lastSlash(path); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	})
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// scan walks one body. inLoop tracks whether the current statement is
+// inside a for/range statement (defers there accumulate per iteration).
+// Nested function literals are scanned by their own nodes; here they only
+// contribute their capture-by-reference site.
+func (s *siteScan) scan(node ast.Node, inLoop bool) {
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if cap := s.captured(x); cap != "" {
+				s.add(x.Pos(), "func literal captures "+cap+" (closure allocates)")
+			}
+			return false
+		case *ast.ForStmt:
+			if x.Init != nil {
+				s.scan(x.Init, inLoop)
+			}
+			if x.Cond != nil {
+				s.scan(x.Cond, inLoop)
+			}
+			if x.Post != nil {
+				s.scan(x.Post, inLoop)
+			}
+			s.scan(x.Body, true)
+			return false
+		case *ast.RangeStmt:
+			s.scan(x.X, inLoop)
+			s.scan(x.Body, true)
+			return false
+		case *ast.DeferStmt:
+			if inLoop {
+				s.add(x.Pos(), "defer inside a loop allocates per iteration")
+			}
+			return true
+		case *ast.GoStmt:
+			s.add(x.Pos(), "go statement allocates a new goroutine")
+			return true
+		case *ast.AssignStmt:
+			s.assign(x)
+			return true
+		case *ast.IncDecStmt:
+			if idx, ok := x.X.(*ast.IndexExpr); ok && s.isMap(idx.X) {
+				s.add(x.Pos(), "map update "+types.ExprString(idx.X)+"["+types.ExprString(idx.Index)+"] allocates on insert")
+			}
+			return true
+		case *ast.GenDecl:
+			s.varDecl(x)
+			return true
+		case *ast.BinaryExpr:
+			s.binary(x)
+			return true
+		case *ast.CallExpr:
+			s.call(x)
+			return true
+		case *ast.CompositeLit:
+			s.composite(x)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					s.add(x.Pos(), "&composite literal allocates")
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			s.ret(x)
+			return true
+		case *ast.SendStmt:
+			if t := s.typeOf(x.Chan); t != nil {
+				if ch, ok := t.Underlying().(*types.Chan); ok && isInterface(ch.Elem()) && s.concrete(x.Value) {
+					s.add(x.Value.Pos(), "send boxes "+shortType(s.typeOf(x.Value))+" into "+shortType(ch.Elem()))
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// captured names the first variable a literal captures from its enclosing
+// function ("" when it captures nothing; capture-free literals compile to
+// static closures and do not allocate).
+func (s *siteScan) captured(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		// Package-level variables are shared, not captured.
+		if v.Parent() == s.n.Pkg.Types.Scope() {
+			return true
+		}
+		// Declared outside the literal's extent → captured.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+// assign flags map inserts, string +=, and interface-boxing stores.
+func (s *siteScan) assign(x *ast.AssignStmt) {
+	for _, lhs := range x.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && s.isMap(idx.X) {
+			s.add(lhs.Pos(), "map insert "+types.ExprString(idx.X)+"["+types.ExprString(idx.Index)+"] allocates on insert")
+		}
+	}
+	if x.Tok == token.ADD_ASSIGN {
+		if t := s.typeOf(x.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				s.add(x.Pos(), "string concatenation allocates")
+			}
+		}
+	}
+	if x.Tok != token.ASSIGN || len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i, lhs := range x.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt := s.typeOf(lhs)
+		if isInterface(lt) && s.concrete(x.Rhs[i]) {
+			s.add(x.Rhs[i].Pos(), "assignment boxes "+shortType(s.typeOf(x.Rhs[i]))+" into "+shortType(lt))
+		}
+	}
+}
+
+// varDecl flags interface boxing in `var x I = concrete` declarations.
+func (s *siteScan) varDecl(x *ast.GenDecl) {
+	if x.Tok != token.VAR {
+		return
+	}
+	for _, spec := range x.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		t := s.typeOf(vs.Type)
+		if !isInterface(t) {
+			continue
+		}
+		for _, v := range vs.Values {
+			if s.concrete(v) {
+				s.add(v.Pos(), "initialisation boxes "+shortType(s.typeOf(v))+" into "+shortType(t))
+			}
+		}
+	}
+}
+
+// binary flags non-constant string concatenation.
+func (s *siteScan) binary(x *ast.BinaryExpr) {
+	if x.Op != token.ADD {
+		return
+	}
+	tv, ok := s.info.Types[x]
+	if !ok || tv.Type == nil || tv.Value != nil { // constants fold at compile time
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		s.add(x.Pos(), "string concatenation allocates")
+	}
+}
+
+// call flags builtin allocators, allocating conversions, interface-boxing
+// arguments and variadic ...interface{} slices.
+func (s *siteScan) call(x *ast.CallExpr) {
+	fun := ast.Unparen(x.Fun)
+	if tv, ok := s.info.Types[x.Fun]; ok && tv.IsType() {
+		s.conversion(x, tv.Type)
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.add(x.Pos(), "make("+shortType(s.typeOf(x))+") allocates")
+			case "new":
+				s.add(x.Pos(), "new("+shortType(s.typeOf(x.Args[0]))+") allocates")
+			case "append":
+				s.add(x.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	tv, ok := s.info.Types[x.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Skip argument analysis for calls whose external callee is already
+	// classified as allocating (fmt.Errorf would otherwise report three
+	// findings per call: the call, the variadic slice, and each box).
+	if fn := s.staticCallee(fun); fn != nil && s.c.g.NodeOf(fn) == nil {
+		if st, _ := externalState(fn); st == allocatesState {
+			return
+		}
+	}
+	params := sig.Params()
+	nFixed := params.Len()
+	if sig.Variadic() {
+		nFixed--
+		elem, _ := params.At(nFixed).Type().(*types.Slice)
+		if elem != nil && isInterface(elem.Elem()) && !x.Ellipsis.IsValid() && len(x.Args) > nFixed {
+			s.add(x.Pos(), "variadic ..."+shortType(elem.Elem())+" call allocates its argument slice")
+		}
+	}
+	for i, arg := range x.Args {
+		var pt types.Type
+		switch {
+		case i < nFixed:
+			pt = params.At(i).Type()
+		case sig.Variadic() && x.Ellipsis.IsValid():
+			continue // passing an existing slice through
+		case sig.Variadic():
+			if sl, ok := params.At(nFixed).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if isInterface(pt) && s.concrete(arg) {
+			s.add(arg.Pos(), "argument boxes "+shortType(s.typeOf(arg))+" into "+shortType(pt))
+		}
+	}
+}
+
+// staticCallee resolves fun to a declared function object, if it is one.
+func (s *siteScan) staticCallee(fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := s.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := s.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// conversion flags string<->[]byte/[]rune conversions and conversions into
+// interface types.
+func (s *siteScan) conversion(x *ast.CallExpr, target types.Type) {
+	if len(x.Args) != 1 {
+		return
+	}
+	src := s.typeOf(x.Args[0])
+	if src == nil {
+		return
+	}
+	if isInterface(target) {
+		if s.concrete(x.Args[0]) {
+			s.add(x.Pos(), "conversion boxes "+shortType(src)+" into "+shortType(target))
+		}
+		return
+	}
+	if isString(target) && isByteOrRuneSlice(src) {
+		s.add(x.Pos(), "string("+shortType(src)+") conversion allocates")
+		return
+	}
+	if isByteOrRuneSlice(target) && isString(src) {
+		s.add(x.Pos(), shortType(target)+"(string) conversion allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// composite flags slice and map literals (always heap-ready backing) and
+// interface-typed elements being filled with concrete values.
+func (s *siteScan) composite(x *ast.CompositeLit) {
+	t := s.typeOf(x)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		s.add(x.Pos(), "slice literal allocates")
+		if isInterface(u.Elem()) {
+			s.boxedElems(x, u.Elem())
+		}
+	case *types.Map:
+		s.add(x.Pos(), "map literal allocates")
+		if isInterface(u.Elem()) {
+			s.boxedElems(x, u.Elem())
+		}
+	case *types.Array:
+		if isInterface(u.Elem()) {
+			s.boxedElems(x, u.Elem())
+		}
+	case *types.Struct:
+		for i, elt := range x.Elts {
+			var ft types.Type
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					for f := 0; f < u.NumFields(); f++ {
+						if u.Field(f).Name() == key.Name {
+							ft = u.Field(f).Type()
+							break
+						}
+					}
+				}
+			} else if i < u.NumFields() {
+				ft = u.Field(i).Type()
+			}
+			if isInterface(ft) && s.concrete(val) {
+				s.add(val.Pos(), "composite literal boxes "+shortType(s.typeOf(val))+" into "+shortType(ft))
+			}
+		}
+	}
+}
+
+// boxedElems flags concrete values stored into interface-typed elements.
+func (s *siteScan) boxedElems(x *ast.CompositeLit, elem types.Type) {
+	for _, elt := range x.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if s.concrete(val) {
+			s.add(val.Pos(), "composite literal boxes "+shortType(s.typeOf(val))+" into "+shortType(elem))
+		}
+	}
+}
+
+// ret flags concrete values returned as interface results.
+func (s *siteScan) ret(x *ast.ReturnStmt) {
+	if s.results == nil || len(x.Results) != s.results.Len() {
+		return
+	}
+	for i, res := range x.Results {
+		if isInterface(s.results.At(i).Type()) && s.concrete(res) {
+			s.add(res.Pos(), "return boxes "+shortType(s.typeOf(res))+" into "+shortType(s.results.At(i).Type()))
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package b is the dependency fixture: allocations here must be reported
+// re-anchored at the calling line in package a, with the true location in
+// the message.
+package b
+
+// DeepAlloc allocates out of sight of the annotated caller.
+func DeepAlloc() []int {
+	return make([]int, 4)
+}
+
+// Clean is provably alloc-free.
+func Clean(x int) int { return x + 1 }
+
+// Sink is dispatched through in package a; fan-out must reach Grower.
+type Sink interface{ Put(int) }
+
+// Grower implements Sink with a growing append.
+type Grower struct{ buf []int }
+
+// Put appends, so any Sink dispatch is tainted.
+func (g *Grower) Put(v int) { g.buf = append(g.buf, v) }

@@ -1,0 +1,215 @@
+package callgraph_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"pandia/internal/analysis"
+	"pandia/internal/analysis/callgraph"
+)
+
+// buildFixture loads the root fixture package and builds its graph.
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	l := &analysis.Loader{
+		Fset:        token.NewFileSet(),
+		FixtureRoot: filepath.Join("testdata", "src"),
+	}
+	pkg, err := l.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Deps:      pkg.Imports,
+	}
+	return callgraph.Build(pass)
+}
+
+// node finds a graph node by rendered name.
+func node(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	names := make([]string, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		names = append(names, n.Name())
+	}
+	t.Fatalf("no node %q in graph; have %v", name, names)
+	return nil
+}
+
+// edgeTo finds the first edge of n with a callee named callee.
+func edgeTo(n *callgraph.Node, callee string) *callgraph.Edge {
+	for _, e := range n.Edges {
+		for _, c := range e.Callees {
+			if c.Name() == callee {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+func TestStaticCrossPackageCall(t *testing.T) {
+	g := buildFixture(t)
+	e := edgeTo(node(t, g, "a.Static"), "b.Leaf")
+	if e == nil {
+		t.Fatal("a.Static has no edge to b.Leaf")
+	}
+	if e.Kind != callgraph.Static {
+		t.Errorf("edge kind = %v, want Static", e.Kind)
+	}
+}
+
+func TestEmbeddedPromotionResolvesToDeclaredBody(t *testing.T) {
+	g := buildFixture(t)
+	n := node(t, g, "a.CallPromoted")
+	e := edgeTo(n, "(b.Inner).Promoted")
+	if e == nil {
+		t.Fatal("promoted call did not resolve to (b.Inner).Promoted")
+	}
+	if e.Kind != callgraph.Static {
+		t.Errorf("promoted call kind = %v, want Static", e.Kind)
+	}
+}
+
+func TestValueReceiverMethodCall(t *testing.T) {
+	g := buildFixture(t)
+	if edgeTo(node(t, g, "a.UseGet"), "(a.counter).get") == nil {
+		t.Error("value-receiver method call did not resolve")
+	}
+}
+
+func TestBoundMethodValue(t *testing.T) {
+	g := buildFixture(t)
+	n := node(t, g, "a.MethodValue")
+	e := edgeTo(n, "(*a.counter).inc")
+	if e == nil {
+		t.Fatal("method value created no edge to (*a.counter).inc")
+	}
+	if e.Kind != callgraph.Ref || !e.Bound {
+		t.Errorf("method value edge = kind %v bound %v, want Ref/bound", e.Kind, e.Bound)
+	}
+}
+
+func TestMethodExpressionCall(t *testing.T) {
+	g := buildFixture(t)
+	if edgeTo(node(t, g, "a.MethodExprCall"), "(*a.counter).reset") == nil {
+		t.Error("method expression call did not resolve")
+	}
+}
+
+func TestFuncLiteralAssignedToField(t *testing.T) {
+	g := buildFixture(t)
+	n := node(t, g, "a.FieldLit")
+	e := edgeTo(n, "a.FieldLit$1")
+	if e == nil {
+		t.Fatal("literal stored in a field got no node/edge")
+	}
+	if e.Kind != callgraph.Literal {
+		t.Errorf("literal edge kind = %v, want Literal", e.Kind)
+	}
+	lit := node(t, g, "a.FieldLit$1")
+	if edgeTo(lit, "b.Leaf") == nil {
+		t.Error("literal body's call to b.Leaf missing")
+	}
+}
+
+func TestFuncValueCallIsUnresolved(t *testing.T) {
+	g := buildFixture(t)
+	n := node(t, g, "a.CallField")
+	found := false
+	for _, e := range n.Edges {
+		if e.Kind == callgraph.FuncValue {
+			found = true
+			if !e.Unresolved() {
+				t.Error("func-value call should be unresolved")
+			}
+		}
+	}
+	if !found {
+		t.Error("call through func-typed field produced no FuncValue edge")
+	}
+}
+
+func TestInterfaceFanOut(t *testing.T) {
+	g := buildFixture(t)
+	n := node(t, g, "a.Iface")
+	var e *callgraph.Edge
+	for _, cand := range n.Edges {
+		if cand.Kind == callgraph.Interface {
+			e = cand
+		}
+	}
+	if e == nil {
+		t.Fatal("interface call produced no Interface edge")
+	}
+	want := map[string]bool{"(*b.Ring).Emit": false, "(*a.localRing).Emit": false}
+	for _, c := range e.Callees {
+		if _, ok := want[c.Name()]; ok {
+			want[c.Name()] = true
+		} else {
+			t.Errorf("unexpected fan-out target %s", c.Name())
+		}
+	}
+	for name, hit := range want {
+		if !hit {
+			t.Errorf("fan-out missed %s", name)
+		}
+	}
+}
+
+func TestSCCsBottomUpAndCycleGrouping(t *testing.T) {
+	g := buildFixture(t)
+	sccs := g.SCCs()
+	at := map[*callgraph.Node]int{}
+	for i, scc := range sccs {
+		for _, n := range scc {
+			at[n] = i
+		}
+	}
+	even, odd := node(t, g, "a.even"), node(t, g, "a.odd")
+	if at[even] != at[odd] {
+		t.Errorf("even and odd in different SCCs (%d vs %d)", at[even], at[odd])
+	}
+	if leaf, static := node(t, g, "b.Leaf"), node(t, g, "a.Static"); at[leaf] >= at[static] {
+		t.Errorf("callee SCC (%d) not before caller SCC (%d)", at[leaf], at[static])
+	}
+	if rec := node(t, g, "a.Recurse"); at[rec] <= at[even] {
+		t.Errorf("cycle SCC (%d) not before its caller (%d)", at[even], at[rec])
+	}
+}
+
+// TestSolveConvergesOnMutualRecursion runs a reaches-the-cycle summary: it
+// must converge to true for both cycle members and their caller without
+// exhausting the round budget.
+func TestSolveConvergesOnMutualRecursion(t *testing.T) {
+	g := buildFixture(t)
+	even := node(t, g, "a.even")
+	sums := callgraph.Solve(g, false, func(n *callgraph.Node, get func(*callgraph.Node) bool) bool {
+		for _, e := range n.Edges {
+			for _, c := range e.Callees {
+				if c == even || get(c) {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	for _, name := range []string{"a.even", "a.odd", "a.Recurse"} {
+		if !sums[node(t, g, name)] {
+			t.Errorf("%s: summary = false, want true (reaches the even/odd cycle)", name)
+		}
+	}
+	if sums[node(t, g, "a.Static")] {
+		t.Error("a.Static: summary = true, want false")
+	}
+}

@@ -1,0 +1,117 @@
+package callgraph
+
+// This file holds the bottom-up machinery: Tarjan strongly-connected
+// components over the call graph and a generic fixed-point solver for
+// per-function summaries.
+
+// SCCs returns the graph's strongly connected components in bottom-up
+// order: every component appears after the components it calls into, so a
+// summary solver visiting them in sequence sees callee summaries before
+// caller summaries. Within a component, nodes keep build order. The order
+// is deterministic.
+func (g *Graph) SCCs() [][]*Node {
+	t := &tarjan{
+		g:       g,
+		index:   make(map[*Node]int, len(g.Nodes)),
+		lowlink: make(map[*Node]int, len(g.Nodes)),
+		onstack: make(map[*Node]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		if _, seen := t.index[n]; !seen {
+			t.strongconnect(n)
+		}
+	}
+	return t.out
+}
+
+type tarjan struct {
+	g       *Graph
+	counter int
+	index   map[*Node]int
+	lowlink map[*Node]int
+	onstack map[*Node]bool
+	stack   []*Node
+	out     [][]*Node
+}
+
+// strongconnect is Tarjan's recursive step. Call-graph depth is bounded by
+// source nesting, so recursion is safe at this module's scale.
+func (t *tarjan) strongconnect(n *Node) {
+	t.index[n] = t.counter
+	t.lowlink[n] = t.counter
+	t.counter++
+	t.stack = append(t.stack, n)
+	t.onstack[n] = true
+
+	for _, e := range n.Edges {
+		for _, callee := range e.Callees {
+			if _, seen := t.index[callee]; !seen {
+				t.strongconnect(callee)
+				if t.lowlink[callee] < t.lowlink[n] {
+					t.lowlink[n] = t.lowlink[callee]
+				}
+			} else if t.onstack[callee] && t.index[callee] < t.lowlink[n] {
+				t.lowlink[n] = t.index[callee]
+			}
+		}
+	}
+
+	if t.lowlink[n] == t.index[n] {
+		var scc []*Node
+		for {
+			top := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.onstack[top] = false
+			scc = append(scc, top)
+			if top == n {
+				break
+			}
+		}
+		// Tarjan pops the component in reverse discovery order; restore
+		// build order so output is independent of traversal details.
+		for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+			scc[i], scc[j] = scc[j], scc[i]
+		}
+		t.out = append(t.out, scc)
+	}
+}
+
+// maxSCCRounds bounds the fixed-point iterations within one strongly
+// connected component. Monotone summaries over a finite lattice converge in
+// at most lattice-height rounds; the budget is a hard stop against a
+// non-monotone summarize function, not a tuning knob.
+const maxSCCRounds = 64
+
+// Solve computes a summary for every node, bottom-up over the SCC
+// condensation. summarize derives one node's summary, reading callee
+// summaries through get; callees outside the node's component are final,
+// callees inside it start at bottom and the component iterates to a fixed
+// point, so mutually recursive functions converge instead of looping.
+// summarize must be monotone in its callee summaries for the fixed point to
+// be exact; the iteration is budgeted regardless, so a faulty summarize
+// terminates with a conservative (last-round) result.
+func Solve[S comparable](g *Graph, bottom S, summarize func(n *Node, get func(*Node) S) S) map[*Node]S {
+	sums := make(map[*Node]S, len(g.Nodes))
+	get := func(n *Node) S {
+		if s, ok := sums[n]; ok {
+			return s
+		}
+		return bottom
+	}
+	for _, scc := range g.SCCs() {
+		for round := 0; round < maxSCCRounds; round++ {
+			changed := false
+			for _, n := range scc {
+				s := summarize(n, get)
+				if s != get(n) {
+					sums[n] = s
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums
+}

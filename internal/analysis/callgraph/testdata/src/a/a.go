@@ -1,0 +1,72 @@
+// Package a is the root fixture for the call-graph tests: each declaration
+// exercises one edge-extraction case.
+package a
+
+import "b"
+
+// Static calls a dependency function directly.
+func Static() int { return b.Leaf() }
+
+// Outer promotes b.Inner's method set.
+type Outer struct{ b.Inner }
+
+// CallPromoted resolves through the embedded field to (b.Inner).Promoted.
+func CallPromoted(o Outer) int { return o.Promoted() }
+
+type counter struct{ n int }
+
+func (c *counter) inc()        { c.n++ }
+func (c counter) get() int     { return c.n }
+func (c *counter) reset(v int) { c.n = v }
+
+// UseGet calls a value-receiver method.
+func UseGet(c counter) int { return c.get() }
+
+// MethodValue creates a bound method value without calling it.
+func MethodValue(c *counter) func() {
+	f := c.inc
+	return f
+}
+
+// MethodExprCall calls through a method expression.
+func MethodExprCall(c *counter) {
+	(*counter).reset(c, 0)
+}
+
+type holder struct{ fn func() int }
+
+// FieldLit stores a function literal in a struct field; the literal still
+// gets a node and a may-call edge from FieldLit.
+func FieldLit() holder {
+	return holder{fn: func() int { return b.Leaf() }}
+}
+
+// CallField invokes a func-typed field: dynamic, unresolved.
+func CallField(h holder) int { return h.fn() }
+
+// Iface dispatches through the interface; fan-out must find (*b.Ring).Emit
+// and (*localRing).Emit.
+func Iface(e b.Emitter) { e.Emit(1) }
+
+type localRing struct{ total int }
+
+func (l *localRing) Emit(v int) { l.total += v }
+
+// even and odd are mutually recursive: one SCC, and summary solving over
+// them must converge.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// Recurse enters the cycle from outside it.
+func Recurse(n int) bool { return even(n) }

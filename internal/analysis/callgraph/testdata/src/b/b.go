@@ -1,0 +1,22 @@
+// Package b is the dependency fixture: the root package a calls into it
+// across the package boundary, so the graph must resolve bodies through the
+// module-local import closure.
+package b
+
+// Leaf is the shared terminal callee.
+func Leaf() int { return 1 }
+
+// Emitter is the interface the fan-out tests dispatch through.
+type Emitter interface{ Emit(int) }
+
+// Ring is b's Emitter implementation.
+type Ring struct{ n int }
+
+// Emit implements Emitter.
+func (r *Ring) Emit(v int) { r.n += v }
+
+// Inner provides a method that embedding types promote.
+type Inner struct{}
+
+// Promoted is reached through embedded selection in package a.
+func (Inner) Promoted() int { return Leaf() }

@@ -1,0 +1,285 @@
+// Package detflow is the interprocedural companion of detlint.
+//
+// detlint forbids the three nondeterministic constructs — map range
+// iteration, time.Now, the process-seeded global math/rand source — inside
+// the prediction packages themselves. That leaves a hole: a core function
+// can call a helper in an unrestricted package (kernels, placement, a
+// utility package) that hides the same construct one level down, and the
+// fixed-point loop silently stops being bit-identical run-to-run.
+//
+// detflow closes the hole. For each restricted package it builds the
+// module-local call graph (internal/analysis/callgraph), collects
+// nondeterminism sources in the unrestricted functions of the import
+// closure, and taints them through the graph. Every source reachable from a
+// function of the package under analysis is reported at the call site where
+// the flow leaves the package, with the full call chain and the true source
+// location in the message:
+//
+//	nondeterminism reaches the core: time.Now (at kernels/cpu.go:42);
+//	call path: kernels.stamp ← core.refresh; inject the clock
+//
+// Sources inside restricted packages are detlint's findings and are not
+// duplicated here; callees in other restricted packages are not traversed
+// (they are vetted when their own package is analysed). A deliberate,
+// order-independent escape carries //detflow:ignore with a justification on
+// the calling line.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pandia/internal/analysis"
+	"pandia/internal/analysis/callgraph"
+	"pandia/internal/analysis/detlint"
+)
+
+// Analyzer is the detflow pass. It runs over the same restricted package
+// set as detlint: the two passes together cover the intraprocedural and
+// interprocedural halves of the determinism discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "taint time.Now, global math/rand and map iteration through the module-local " +
+		"call graph and report nondeterminism flowing into the prediction core",
+	Run:      run,
+	Restrict: restricted,
+}
+
+// restricted mirrors detlint's package set; a named function breaks the
+// initialization cycle Analyzer → run → Analyzer.Restrict.
+func restricted(pkgPath string) bool { return detlint.Analyzer.Restrict(pkgPath) }
+
+// source is one nondeterminism origin in an unrestricted function.
+type source struct {
+	pos    token.Pos
+	what   string // "time.Now", "global math/rand call rand.Intn", …
+	advice string // the fix, mirroring detlint's wording
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	g        *callgraph.Graph
+	sources  map[*callgraph.Node][]source
+	tainted  map[*callgraph.Node]bool
+	comments map[*ast.File]map[int]string
+	reported map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		g:        callgraph.Build(pass),
+		sources:  map[*callgraph.Node][]source{},
+		comments: map[*ast.File]map[int]string{},
+		reported: map[string]bool{},
+	}
+	for _, n := range c.g.Nodes {
+		if c.collectable(n) {
+			c.sources[n] = c.collect(n)
+		}
+	}
+	c.tainted = callgraph.Solve(c.g, false, func(n *callgraph.Node, get func(*callgraph.Node) bool) bool {
+		if len(c.sources[n]) > 0 {
+			return true
+		}
+		for _, e := range n.Edges {
+			for _, callee := range e.Callees {
+				if c.traversable(callee) && get(callee) {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	for _, n := range c.g.Nodes {
+		if n.Decl != nil && n.Pkg.Types == pass.Pkg && !pass.IsTestFile(n.Pos()) {
+			c.reportEntry(n)
+		}
+	}
+	return nil
+}
+
+// collectable limits source collection to unrestricted, non-test functions
+// outside the package under analysis: sources inside restricted packages
+// are detlint findings, not flows.
+func (c *checker) collectable(n *callgraph.Node) bool {
+	if n.Pkg.Types == c.pass.Pkg || c.pass.IsTestFile(n.Pos()) {
+		return false
+	}
+	return !restricted(n.Pkg.Path)
+}
+
+// traversable reports whether the taint walk may enter callee: unrestricted
+// dependency functions, plus function literals of the package under
+// analysis (their enclosing declaration is the entry that owns them).
+func (c *checker) traversable(callee *callgraph.Node) bool {
+	if callee.Pkg.Types == c.pass.Pkg {
+		return callee.Lit != nil
+	}
+	return !restricted(callee.Pkg.Path)
+}
+
+// collect scans one unrestricted function for nondeterminism sources: calls
+// to time.Now, calls to unseeded package-level math/rand functions, and map
+// range iteration (minus the key-collection idiom).
+func (c *checker) collect(n *callgraph.Node) []source {
+	var out []source
+	for _, e := range n.Edges {
+		if e.External == nil {
+			continue
+		}
+		if s, ok := nondetCall(e.External); ok {
+			s.pos = e.Pos
+			out = append(out, s)
+		}
+	}
+	body := n.Body()
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // a literal is its own node
+		}
+		rs, ok := x.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := n.Pkg.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap && !detlint.IsKeyCollection(rs) {
+			out = append(out, source{
+				pos:    rs.Pos(),
+				what:   "nondeterministic iteration over map " + types.ExprString(rs.X),
+				advice: "iterate sorted keys instead",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// nondetCall classifies an external callee as a nondeterminism source.
+func nondetCall(fn *types.Func) (source, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return source{}, false
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			return source{what: "time.Now", advice: "inject the clock"}, true
+		}
+	case "math/rand", "math/rand/v2":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !detlint.IsSeededRandConstructor(fn.Name()) {
+			return source{
+				what:   "global math/rand call " + pkg.Name() + "." + fn.Name(),
+				advice: "use rand.New(rand.NewSource(seed))",
+			}, true
+		}
+	}
+	return source{}, false
+}
+
+// ignored reports whether an in-package position's line carries a
+// //detflow:ignore directive.
+func (c *checker) ignored(pos token.Pos) bool {
+	p := c.pass.Fset.Position(pos)
+	for _, f := range c.pass.Files {
+		fp := c.pass.Fset.Position(f.Pos())
+		if fp.Filename != p.Filename {
+			continue
+		}
+		m, ok := c.comments[f]
+		if !ok {
+			m = analysis.LineComments(c.pass.Fset, f)
+			c.comments[f] = m
+		}
+		return strings.Contains(m[p.Line], "detflow:ignore")
+	}
+	return false
+}
+
+// reportEntry walks the unrestricted closure reachable from one entry and
+// reports every nondeterminism source with the call chain back to the
+// entry, anchored at the call site where the flow leaves the package.
+func (c *checker) reportEntry(entry *callgraph.Node) {
+	seen := map[*callgraph.Node]bool{}
+	chain := []*callgraph.Node{}
+
+	var visit func(n *callgraph.Node, anchor token.Pos)
+	visit = func(n *callgraph.Node, anchor token.Pos) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		chain = append(chain, n)
+		for _, s := range c.sources[n] {
+			c.report(entry, anchor, chain, s)
+		}
+		for _, e := range n.Edges {
+			inPass := n.Pkg.Types == c.pass.Pkg
+			if inPass && c.ignored(e.Pos) {
+				continue
+			}
+			next := anchor
+			if inPass {
+				next = e.Pos
+			}
+			for _, callee := range e.Callees {
+				if c.traversable(callee) && c.tainted[callee] {
+					visit(callee, next)
+				}
+			}
+		}
+		chain = chain[:len(chain)-1]
+	}
+	visit(entry, entry.Decl.Pos())
+}
+
+// report emits one finding at the in-package anchor.
+func (c *checker) report(entry *callgraph.Node, anchor token.Pos, chain []*callgraph.Node, s source) {
+	p := c.pass.Fset.Position(s.pos)
+	parts := make([]string, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		parts = append(parts, chain[i].Name())
+	}
+	msg := "nondeterminism reaches the core: " + s.what +
+		" (at " + shortFile(p.Filename) + ":" + itoa(p.Line) + ")" +
+		"; call path: " + strings.Join(parts, " ← ") + "; " + s.advice
+	key := entry.Name() + "\x00" + p.String() + "\x00" + s.what
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(anchor, "%s", msg)
+}
+
+// shortFile trims a filename to its final two path elements.
+func shortFile(name string) string {
+	name = strings.ReplaceAll(name, "\\", "/")
+	parts := strings.Split(name, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

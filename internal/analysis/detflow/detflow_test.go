@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/detflow"
+)
+
+func TestDetflowFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", detflow.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Package a plays the restricted core in the detflow fixtures: every
+// finding anchors on a call line here, with the true source in the message.
+package a
+
+import (
+	"b"
+	"math/rand"
+)
+
+// UseNow reaches time.Now one call away.
+func UseNow() int64 {
+	return b.NowStamp() // want `nondeterminism reaches the core: time\.Now \(at b/b\.go:\d+\); call path: b\.NowStamp ← a\.UseNow; inject the clock`
+}
+
+// UseRoll reaches the global math/rand source.
+func UseRoll() int {
+	return b.Roll() // want `global math/rand call rand\.Intn \(at b/b\.go:\d+\); call path: b\.Roll ← a\.UseRoll`
+}
+
+// UseSum reaches a hash-order map iteration.
+func UseSum(m map[string]int) int {
+	return b.Sum(m) // want `nondeterministic iteration over map m \(at b/b\.go:\d+\); call path: b\.Sum ← a\.UseSum; iterate sorted keys instead`
+}
+
+// UseDeep reaches time.Now through two unrestricted frames.
+func UseDeep() int64 {
+	return b.Deep() // want `time\.Now \(at b/b\.go:\d+\); call path: b\.NowStamp ← b\.Deep ← a\.UseDeep`
+}
+
+// UseSeeded passes an explicitly seeded generator: clean.
+func UseSeeded(r *rand.Rand) int { return b.SeededRoll(r) }
+
+// UseKeys hits only the exempt key-collection idiom: clean.
+func UseKeys(m map[string]int) []string { return b.Keys(m) }
+
+// Waived documents a deliberate order-independent escape.
+func Waived(m map[string]int) int {
+	return b.Sum(m) //detflow:ignore integer sum is order-independent
+}
+
+// InLiteral escapes from inside a function literal owned by the entry.
+func InLiteral() func() int64 {
+	return func() int64 {
+		return b.NowStamp() // want `time\.Now \(at b/b\.go:\d+\); call path: b\.NowStamp ← a\.InLiteral\$1 ← a\.InLiteral`
+	}
+}

@@ -1,0 +1,40 @@
+// Package b is the unrestricted helper fixture: nondeterminism hides here,
+// one call away from the vetted package.
+package b
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NowStamp hides a time.Now.
+func NowStamp() int64 { return time.Now().UnixNano() }
+
+// Roll hides a global math/rand call.
+func Roll() int { return rand.Intn(6) }
+
+// SeededRoll draws from an injected, explicitly seeded generator: clean.
+func SeededRoll(r *rand.Rand) int { return r.Intn(6) }
+
+// Sum iterates a map in hash order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys is the canonical key-collection prelude: exempt.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Deep buries the source two levels down.
+func Deep() int64 { return NowStamp() }

@@ -41,6 +41,14 @@ var seededConstructors = map[string]bool{
 	"NewZipf":   true,
 }
 
+// IsSeededRandConstructor reports whether a package-level math/rand function
+// builds an explicitly seeded generator. Shared with detflow, which applies
+// the same policy across the call graph.
+func IsSeededRandConstructor(name string) bool { return seededConstructors[name] }
+
+// IsKeyCollection exposes the key-collection exemption to detflow.
+func IsKeyCollection(rs *ast.RangeStmt) bool { return isKeyCollection(rs) }
+
 // isKeyCollection recognises the canonical deterministic-iteration prelude —
 // `for k := range m { keys = append(keys, k) }` — which is order-independent
 // by construction (the keys are sorted before use). The loop must bind only

@@ -19,8 +19,8 @@ func badMapRange(loads map[string]float64) float64 {
 }
 
 func badClockAndRand() (int64, int) {
-	t := time.Now().UnixNano() // want `time\.Now breaks run-to-run determinism`
-	n := rand.Intn(10)         // want `global math/rand source is process-seeded`
+	t := time.Now().UnixNano()         // want `time\.Now breaks run-to-run determinism`
+	n := rand.Intn(10)                 // want `global math/rand source is process-seeded`
 	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand`
 	return t, n
 }

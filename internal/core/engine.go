@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,16 @@ import (
 	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
+)
+
+// Sentinel errors of the binding fast path. The messages are unchanged
+// from the historical fmt.Errorf calls; hoisting them to errors.New makes
+// the steady-state bind provably allocation-free (alloccheck) — returning a
+// package-level error allocates nothing.
+var (
+	errNoWorkloads  = errors.New("core: no workloads to predict")
+	errNilWorkload  = errors.New("core: nil workload")
+	errEmptyPlacing = errors.New("placement: empty")
 )
 
 // PlacedWorkload pairs one workload description with a proposed placement,
@@ -57,7 +68,7 @@ type job struct {
 func (j *job) carve(n, nSock int) {
 	need := 7*n + 2*nSock
 	if cap(j.buf) < need {
-		j.buf = make([]float64, need)
+		j.buf = make([]float64, need) //alloccheck:ok slab grows once per larger placement; steady state reuses it
 	}
 	b := j.buf[:need]
 	j.f, b = b[:n:n], b[n:]
@@ -168,14 +179,14 @@ func growInts(s []int, n int) []int {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return make([]int, n)
+	return make([]int, n) //alloccheck:ok scratch grows once per larger placement; steady state reuses it
 }
 
 func growKinds(s []topology.ResourceKind, n int) []topology.ResourceKind {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return make([]topology.ResourceKind, n)
+	return make([]topology.ResourceKind, n) //alloccheck:ok scratch grows once per larger placement; steady state reuses it
 }
 
 // bind attaches the placed workloads to the engine, resetting every table
@@ -186,7 +197,7 @@ func growKinds(s []topology.ResourceKind, n int) []topology.ResourceKind {
 // same errors without allocating.
 func (e *engine) bind(placed []PlacedWorkload, validateWorkloads bool) error {
 	if len(placed) == 0 {
-		return fmt.Errorf("core: no workloads to predict")
+		return errNoWorkloads
 	}
 	topo := e.md.Topo
 	e.invErr = nil
@@ -199,10 +210,10 @@ func (e *engine) bind(placed []PlacedWorkload, validateWorkloads bool) error {
 	e.jobs = e.jobs[:0]
 	for _, pw := range placed {
 		if pw.Workload == nil {
-			return fmt.Errorf("core: nil workload")
+			return errNilWorkload
 		}
 		if validateWorkloads {
-			if err := pw.Workload.Validate(); err != nil {
+			if err := pw.Workload.Validate(); err != nil { //alloccheck:ok construction-time validation; the per-prediction fast path passes validateWorkloads=false
 				return err
 			}
 		}
@@ -211,11 +222,11 @@ func (e *engine) bind(placed []PlacedWorkload, validateWorkloads bool) error {
 		}
 		n := len(pw.Placement)
 		if n == 0 {
-			return fmt.Errorf("core: empty placement for %q", pw.Workload.Name)
+			return fmt.Errorf("core: empty placement for %q", pw.Workload.Name) //alloccheck:ok invalid-placement error path is cold
 		}
 		j := e.nextJob()
 		j.bind(e, topo, pw.Workload, pw.Placement)
-		e.jobs = append(e.jobs, j)
+		e.jobs = append(e.jobs, j) //alloccheck:ok re-slices the pool; grows only with the job count
 	}
 	return nil
 }
@@ -225,8 +236,8 @@ func (e *engine) nextJob() *job {
 	if len(e.jobs) < len(e.jobPool) {
 		return e.jobPool[len(e.jobs)]
 	}
-	j := &job{}
-	e.jobPool = append(e.jobPool, j)
+	j := &job{}                      //alloccheck:ok pool grows once per co-scheduled job count
+	e.jobPool = append(e.jobPool, j) //alloccheck:ok pool grows once per co-scheduled job count
 	return j
 }
 
@@ -237,25 +248,25 @@ func (e *engine) nextJob() *job {
 func (e *engine) claimPlacement(p placement.Placement) error {
 	topo := e.md.Topo
 	if len(p) == 0 {
-		return fmt.Errorf("placement: empty")
+		return errEmptyPlacing
 	}
 	for i := range e.mine {
 		e.mine[i] = 0
 	}
 	for _, c := range p {
 		if !topo.ValidContext(c) {
-			return fmt.Errorf("placement: context %v not on machine %s", c, topo.Name)
+			return fmt.Errorf("placement: context %v not on machine %s", c, topo.Name) //alloccheck:ok invalid-placement error path is cold
 		}
 		idx := topo.ContextIndex(c)
 		if e.mine[idx/64]&(1<<(idx%64)) != 0 {
-			return fmt.Errorf("placement: context %v used twice", c)
+			return fmt.Errorf("placement: context %v used twice", c) //alloccheck:ok invalid-placement error path is cold
 		}
 		e.mine[idx/64] |= 1 << (idx % 64)
 	}
 	for _, c := range p {
 		idx := topo.ContextIndex(c)
 		if e.occupied[idx/64]&(1<<(idx%64)) != 0 {
-			return fmt.Errorf("core: context %v claimed by two workloads", c)
+			return fmt.Errorf("core: context %v claimed by two workloads", c) //alloccheck:ok invalid-placement error path is cold
 		}
 		e.occupied[idx/64] |= 1 << (idx % 64)
 	}
@@ -289,7 +300,7 @@ func (j *job) bind(e *engine, topo topology.Machine, w *Workload, place placemen
 	j.memSockets = j.memSockets[:0]
 	for s := 0; s < topo.Sockets; s++ {
 		if e.sockSeen[s] {
-			j.memSockets = append(j.memSockets, s)
+			j.memSockets = append(j.memSockets, s) //alloccheck:ok grows once to the socket count; steady state reuses it
 		}
 	}
 	// The placement is non-empty, so at least one socket is in use; the
@@ -400,6 +411,8 @@ func (e *engine) worstOversubscription(j *job, i int) (float64, topology.Resourc
 
 // iterate runs the refinement loop to convergence (§5.1-5.4) and reports
 // the iteration count and whether the utilisations stabilised.
+//
+//pandia:noalloc
 func (e *engine) iterate(opt Options) (int, bool) {
 	maxIters := opt.maxIters()
 	dampenAfter := opt.dampenAfter()
@@ -536,7 +549,7 @@ func (e *engine) iterate(opt Options) (int, bool) {
 			}
 		}
 		if checks && e.invErr == nil {
-			e.invErr = e.checkIteration(iter)
+			e.invErr = e.checkIteration(iter) //alloccheck:ok opt-in invariant checks trade allocations for diagnosis
 		}
 		if tracing {
 			e.emitIteration(tr, iters, maxDelta)
@@ -594,7 +607,7 @@ func (j *job) speedup() (float64, error) {
 	}
 	speedup := j.amdahl * invSum / float64(n) //nanguard:ok bind rejects empty placements, n >= 1
 	if speedup <= 0 || math.IsNaN(speedup) {
-		return 0, fmt.Errorf("core: degenerate prediction for %q", j.w.Name)
+		return 0, fmt.Errorf("core: degenerate prediction for %q", j.w.Name) //alloccheck:ok degenerate-prediction error path is cold
 	}
 	return speedup, nil
 }

@@ -57,6 +57,8 @@ func (s *loadScan) note(id topology.ResourceID, load, cap float64) {
 // resource with its ratio (zero ResourceID and 0 when nothing is loaded).
 // Instances are visited in ResourceID order, so ties resolve exactly as
 // coPrediction's sorted Loads-map scan does.
+//
+//pandia:noalloc
 func (e *engine) loadSummary(worst *[obs.MaxLoadKinds]float64) (topology.ResourceID, float64) {
 	for k := range worst {
 		worst[k] = 0

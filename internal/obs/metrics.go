@@ -35,9 +35,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//pandia:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are ignored: counters only go up).
+//
+//pandia:noalloc
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -53,6 +57,8 @@ type Gauge struct {
 }
 
 // Set records the current value.
+//
+//pandia:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the last recorded value (0 before the first Set).
@@ -89,6 +95,8 @@ func NewHistogram(bounds []float64) (*Histogram, error) {
 
 // Observe records one value. NaN observations are dropped (they would
 // poison Sum and match no bucket).
+//
+//pandia:noalloc
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return

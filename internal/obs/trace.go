@@ -120,6 +120,8 @@ func (t *RingTracer) SetEnabled(on bool) { t.enabled.Store(on) }
 
 // Emit records one event, stamping its Time from the tracer's clock. A
 // disabled tracer drops the event.
+//
+//pandia:noalloc
 func (t *RingTracer) Emit(e Event) {
 	if !t.enabled.Load() {
 		return

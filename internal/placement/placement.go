@@ -217,9 +217,12 @@ func (s Shape) Expand(m topology.Machine) Placement {
 	return p
 }
 
-// ShapeOf computes the canonical shape of a concrete placement.
+// ShapeOf computes the canonical shape of a concrete placement. Core
+// occupancy is counted in a dense slice indexed by global core — cores are
+// small dense integers, and the in-order sweep keeps the computation
+// deterministic without a sort.
 func ShapeOf(m topology.Machine, p Placement) Shape {
-	occ := make(map[int]int)
+	occ := make([]int, m.TotalCores())
 	for _, c := range p {
 		occ[m.GlobalCore(c)]++
 	}

@@ -162,7 +162,7 @@ type SocketPair struct {
 // It panics if a == b: there is no interconnect link from a socket to itself.
 func MakeSocketPair(a, b int) SocketPair {
 	if a == b {
-		panic(fmt.Sprintf("topology: socket pair (%d,%d) is degenerate", a, b))
+		panic(fmt.Sprintf("topology: socket pair (%d,%d) is degenerate", a, b)) //alloccheck:ok panic path; a==b is a programming error
 	}
 	if a > b {
 		a, b = b, a
