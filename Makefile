@@ -13,7 +13,7 @@ GO ?= go
 # The benchmarks whose trajectory BENCH_core.json tracks.
 BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
 
-.PHONY: check test vet pandia-vet alloccheck fuzz fuzz-smoke bench bench-smoke bench-gate build
+.PHONY: check test vet pandia-vet alloccheck fuzz fuzz-smoke scenario-smoke bench bench-smoke bench-gate build
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ check: build
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-gate
+	$(MAKE) scenario-smoke
 
 # fuzz-smoke is the gate-sized fuzzing pass: 5 seconds per target, enough
 # to catch parser/expander regressions on the corpus plus easy mutations.
@@ -46,11 +47,13 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseShape -fuzztime 5s -run '^$$' ./internal/placement/
 	$(GO) test -fuzz FuzzShapeExpand -fuzztime 5s -run '^$$' ./internal/placement/
 	$(GO) test -fuzz FuzzMachineJSON -fuzztime 5s -run '^$$' ./internal/topology/
+	$(GO) test -fuzz FuzzScenarioParse -fuzztime 5s -run '^$$' ./internal/scenario/
 
 fuzz:
 	$(GO) test -fuzz FuzzParseShape -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzShapeExpand -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzMachineJSON -fuzztime 30s ./internal/topology/
+	$(GO) test -fuzz FuzzScenarioParse -fuzztime 30s ./internal/scenario/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_CORE)' -benchmem . \
@@ -71,3 +74,18 @@ bench-smoke:
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchmem . \
 	  | $(GO) run ./cmd/pandia-benchjson -gate current -zero-alloc BenchmarkPredictorReuse -out BENCH_core.json
+
+# scenario-smoke is the replay-determinism gate: every bundled scenario in
+# scenarios/ must pass its assertions and two separate replay processes
+# must emit byte-identical incident records. A diff here means scheduler
+# state leaked nondeterminism (map order, wall clock, unseeded randomness)
+# into an incident record.
+scenario-smoke:
+	$(GO) build -o /tmp/pandia-scenario-smoke ./cmd/pandia
+	@set -e; for f in scenarios/*.json; do \
+	  /tmp/pandia-scenario-smoke replay -q -o /tmp/scenario-rec1.json $$f; \
+	  /tmp/pandia-scenario-smoke replay -q -o /tmp/scenario-rec2.json $$f; \
+	  cmp /tmp/scenario-rec1.json /tmp/scenario-rec2.json \
+	    || { echo "scenario-smoke: $$f replay not byte-identical" >&2; exit 1; }; \
+	  echo "scenario-smoke: $$f ok"; \
+	done

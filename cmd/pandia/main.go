@@ -11,6 +11,7 @@
 //	pandia explain   -machine x5-2 (-workload MD | -workload-file w.json) -shape 2x2+3x1/4x1 [-trace t.json]
 //	pandia recommend -machine x5-2 (-workload MD | -workload-file w.json) [-target 0.95]
 //	pandia explore   -machine x3-2 -workload MD [-max 500]
+//	pandia replay    [-o record.json] scenarios/socket-failure-under-load.json
 //	pandia workloads
 //
 // Every command taking -machine also accepts -machine-file with a custom
@@ -57,6 +58,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "explore":
 		err = cmdExplore(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -83,6 +86,7 @@ commands:
   explain     attribute a prediction to contended resources, per socket
   recommend   find the best and the minimal-adequate placements
   explore     predict and measure a workload over the placement space
+  replay      replay a resilience scenario and emit its incident record
   help        show this help`)
 }
 

@@ -244,6 +244,7 @@ func (in *Injector) Run(cfg simhw.RunConfig) (simhw.RunResult, error) {
 	in.mu.Lock()
 	in.stats.Runs++
 	in.mu.Unlock()
+	metInjectRuns.Inc()
 
 	if uHang < in.cfg.Hang {
 		d := in.cfg.Deadline()
@@ -251,12 +252,14 @@ func (in *Injector) Run(cfg simhw.RunConfig) (simhw.RunResult, error) {
 		in.stats.Hangs++
 		in.stats.HangCost += d
 		in.mu.Unlock()
+		metInjectHangs.Inc()
 		return simhw.RunResult{}, &HangError{Deadline: d}
 	}
 	if uTransient < in.cfg.Transient {
 		in.mu.Lock()
 		in.stats.Transients++
 		in.mu.Unlock()
+		metInjectTransients.Inc()
 		return simhw.RunResult{}, ErrTransient
 	}
 
@@ -271,6 +274,7 @@ func (in *Injector) Run(cfg simhw.RunConfig) (simhw.RunResult, error) {
 		in.mu.Lock()
 		in.stats.Outliers++
 		in.mu.Unlock()
+		metInjectOutliers.Inc()
 	}
 	if uSpike < in.cfg.Spike {
 		res.Time *= in.cfg.spikeFactor()
@@ -278,18 +282,21 @@ func (in *Injector) Run(cfg simhw.RunConfig) (simhw.RunResult, error) {
 		in.mu.Lock()
 		in.stats.Spikes++
 		in.mu.Unlock()
+		metInjectSpikes.Inc()
 	}
 	if uDropout < in.cfg.Dropout {
 		dropLevels(&res.Sample, rng)
 		in.mu.Lock()
 		in.stats.Dropouts++
 		in.mu.Unlock()
+		metInjectDropouts.Inc()
 	}
 	if uCorrupt < in.cfg.Corrupt {
 		corruptLevel(&res.Sample, rng)
 		in.mu.Lock()
 		in.stats.Corrupted++
 		in.mu.Unlock()
+		metInjectCorrupted.Inc()
 	}
 	return res, nil
 }

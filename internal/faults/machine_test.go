@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"pandia/internal/obs"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+func TestMachineConfigValidate(t *testing.T) {
+	bad := []MachineConfig{
+		{ContextFailure: -0.1},
+		{ContextFailure: 1.1},
+		{SocketDegrade: 2},
+		{PlacementFault: -1},
+		{DegradeFactor: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	if err := (MachineConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestMachineInjectorDeterminism(t *testing.T) {
+	cfg := MachineConfig{Seed: 42, ContextFailure: 0.3, SocketDegrade: 0.3, PlacementFault: 0.4}
+	m := topology.X32()
+	a, err := NewMachineInjector(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMachineInjector(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.Placement{{Socket: 0, Core: 0, Slot: 0}}
+	sawFault := false
+	for i := 0; i < 100; i++ {
+		fa, fb := a.Draw(), b.Draw()
+		if len(fa) != len(fb) {
+			t.Fatalf("draw %d: %v vs %v", i, fa, fb)
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("draw %d fault %d: %v vs %v", i, j, fa[j], fb[j])
+			}
+		}
+		if len(fa) > 0 {
+			sawFault = true
+		}
+		ea, eb := a.PlacementCheck(p), b.PlacementCheck(p)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("check %d: %v vs %v", i, ea, eb)
+		}
+	}
+	if !sawFault {
+		t.Fatal("100 draws at p=0.3 yielded no faults; stream looks dead")
+	}
+}
+
+func TestMachineInjectorSeedDecorrelates(t *testing.T) {
+	m := topology.X32()
+	a, _ := NewMachineInjector(m, MachineConfig{Seed: 1, ContextFailure: 0.5})
+	b, _ := NewMachineInjector(m, MachineConfig{Seed: 2, ContextFailure: 0.5})
+	same := true
+	for i := 0; i < 50; i++ {
+		fa, fb := a.Draw(), b.Draw()
+		if len(fa) != len(fb) {
+			same = false
+			break
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 50-draw streams")
+	}
+}
+
+func TestMachineInjectorStatsAndMetrics(t *testing.T) {
+	before := obs.Default().Snapshot()
+	mi, err := NewMachineInjector(topology.X32(), MachineConfig{
+		Seed: 7, ContextFailure: 1, SocketDegrade: 1, PlacementFault: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.X32()
+	for i := 0; i < 10; i++ {
+		fs := mi.Draw()
+		if len(fs) != 2 {
+			t.Fatalf("draw %d at p=1 produced %v, want both classes", i, fs)
+		}
+		for _, f := range fs {
+			switch f.Kind {
+			case FaultContextFailure:
+				if !m.ValidContext(f.Context) {
+					t.Fatalf("fault names off-machine context %v", f.Context)
+				}
+			case FaultSocketDegrade:
+				if f.Socket < 0 || f.Socket >= m.Sockets {
+					t.Fatalf("fault names off-machine socket %d", f.Socket)
+				}
+				if f.Severity != 0.5 {
+					t.Fatalf("default degrade severity %g, want 0.5", f.Severity)
+				}
+			}
+		}
+	}
+	p := placement.Placement{{Socket: 0, Core: 0, Slot: 0}}
+	for i := 0; i < 5; i++ {
+		err := mi.PlacementCheck(p)
+		var pf *PlacementFaultError
+		if !errors.As(err, &pf) {
+			t.Fatalf("check %d: %v, want PlacementFaultError at p=1", i, err)
+		}
+	}
+
+	st := mi.Stats()
+	want := MachineStats{Draws: 10, ContextFailures: 10, SocketDegrades: 10,
+		PlacementChecks: 5, PlacementFaults: 5}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+
+	// Satellite: the per-class counters surface in the obs registry.
+	after := obs.Default().Snapshot()
+	for name, delta := range map[string]int64{
+		"faults.machine.context_failures": 10,
+		"faults.machine.socket_degrades":  10,
+		"faults.machine.placement_checks": 5,
+		"faults.machine.placement_faults": 5,
+	} {
+		if got := after.Counter(name) - before.Counter(name); got != delta {
+			t.Errorf("counter %s moved %d, want %d", name, got, delta)
+		}
+	}
+}
+
+func TestInjectorStatsMetrics(t *testing.T) {
+	// Satellite: Injector.Stats counters mirror into faults.inject.*.
+	before := obs.Default().Snapshot()
+	in, err := New(testbed(t), Config{Seed: 3, Dropout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 4
+	for seed := int64(0); seed < int64(runs); seed++ {
+		_, _ = in.Run(soloCfg(seed))
+	}
+	st := in.Stats()
+	if st.Runs != runs || st.Dropouts == 0 {
+		t.Fatalf("stats %+v, want %d runs with dropouts", st, runs)
+	}
+	after := obs.Default().Snapshot()
+	if got := after.Counter("faults.inject.runs") - before.Counter("faults.inject.runs"); got != int64(runs) {
+		t.Errorf("faults.inject.runs moved %d, want %d", got, runs)
+	}
+	if got := after.Counter("faults.inject.dropouts") - before.Counter("faults.inject.dropouts"); got != int64(st.Dropouts) {
+		t.Errorf("faults.inject.dropouts moved %d, want %d", got, st.Dropouts)
+	}
+}

@@ -15,6 +15,25 @@ var (
 	metExhausted = obs.Default().Counter("faults.measure.exhausted")
 )
 
+// Per-fault-class injection counters, mirroring Injector.Stats in the
+// shared metric namespace: scenario replays and the noise experiments see
+// one view of what was injected (`faults.inject.*` for observation-level
+// faults, `faults.machine.*` for machine-level ones).
+var (
+	metInjectRuns       = obs.Default().Counter("faults.inject.runs")
+	metInjectDropouts   = obs.Default().Counter("faults.inject.dropouts")
+	metInjectCorrupted  = obs.Default().Counter("faults.inject.corrupted")
+	metInjectSpikes     = obs.Default().Counter("faults.inject.spikes")
+	metInjectOutliers   = obs.Default().Counter("faults.inject.outliers")
+	metInjectTransients = obs.Default().Counter("faults.inject.transients")
+	metInjectHangs      = obs.Default().Counter("faults.inject.hangs")
+
+	metMachineCtxFail = obs.Default().Counter("faults.machine.context_failures")
+	metMachineDegrade = obs.Default().Counter("faults.machine.socket_degrades")
+	metMachineChecks  = obs.Default().Counter("faults.machine.placement_checks")
+	metMachineFaults  = obs.Default().Counter("faults.machine.placement_faults")
+)
+
 // record publishes one measurement's quality report to the metrics
 // registry. planned is the number of attempts the policy wanted (Repeats);
 // anything beyond it was a retry forced by failures or invalid samples.

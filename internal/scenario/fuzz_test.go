@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse checks the scenario parser never panics and that
+// everything it accepts really is replay-ready: validated scenarios
+// re-validate cleanly, so a fuzzed file that parses can be handed straight
+// to Run.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add(validScenario())
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"x3-2","seed":-1,"events":[{"at":0,"type":"inject","draws":3}]}`)
+	// Malformed inputs that have bitten JSON-driven configs: unknown
+	// fields, wrong types, NaN-ish numbers, out-of-order and negative
+	// timestamps, unknown presets, truncation, trailing garbage, deep
+	// nesting, huge counts.
+	f.Add(`{"name":"t","machine":"cray-1","events":[{"at":0,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":5,"type":"rebalance"},{"at":1,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":-1,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":1e309,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"explode"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"submit","job":"a","workload":"nope"}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"load-spike","job":"a","workload":"compute","count":-3}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"cordon-socket","socket":99}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"fail-context","context":{"socket":0,"core":0,"slot":9}}]}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"rebalance"}],"assert":{"maxLost":0}}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"rebalance"}]}{"x":1}`)
+	f.Add(`{"name":"t","machine":"toy","events":[{"at":0,"type":"drain-socket","socket":0,"deadline":-5}]}`)
+	f.Add(`{"name":"t","machine":"toy","scheduler":{"admissionRate":-2},"events":[{"at":0,"type":"rebalance"}]}`)
+	f.Add(`{"name":"t","machine":"toy","faults":{"socketDegrade":7},"events":[{"at":0,"type":"rebalance"}]}`)
+	f.Add(`{"name":"` + strings.Repeat("x", 4096) + `","machine":"toy","events":[{"at":0,"type":"rebalance"}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		sc, err := Parse([]byte(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be internally consistent and re-validate.
+		if sc.Name == "" {
+			t.Fatal("accepted a scenario without a name")
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", verr)
+		}
+	})
+}

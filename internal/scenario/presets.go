@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pandia/internal/core"
+	"pandia/internal/counters"
+	"pandia/internal/faults"
+	"pandia/internal/machine"
+	"pandia/internal/simhw"
+	"pandia/internal/topology"
+)
+
+// Workload presets: canonical contention personalities for scenario files.
+// Scenarios care about placement dynamics, not exact profile values, so a
+// small fixed palette keeps scenario JSON short and replays comparable.
+var workloadPresets = map[string]core.Workload{
+	// compute: near-embarrassingly-parallel, core-bound; packs well, barely
+	// contends.
+	"compute": {
+		T1:           100,
+		Demand:       counters.Rates{Instr: 7, L1: 40},
+		ParallelFrac: 0.99, LoadBalance: 0.8, Burstiness: 0.2,
+	},
+	// memory: DRAM-bandwidth-bound; the workload that saturates a socket
+	// and makes co-runners suffer.
+	"memory": {
+		T1:           100,
+		Demand:       counters.Rates{Instr: 2, DRAM: 6},
+		ParallelFrac: 0.97, LoadBalance: 0.9, Burstiness: 0.1,
+		InterSocketOverhead: 0.01,
+	},
+	// cache: lives in L2/L3; hurt by cache-hungry neighbours, indifferent
+	// to DRAM pressure.
+	"cache": {
+		T1:           80,
+		Demand:       counters.Rates{Instr: 3, L2: 30, L3: 12},
+		ParallelFrac: 0.98, LoadBalance: 0.85, Burstiness: 0.15,
+	},
+	// balanced: a moderate mixed profile, the background filler.
+	"balanced": {
+		T1:           120,
+		Demand:       counters.Rates{Instr: 4, L1: 25, L3: 6, DRAM: 2},
+		ParallelFrac: 0.985, LoadBalance: 0.9, Burstiness: 0.1,
+	},
+}
+
+// WorkloadPresets lists the workload preset names, sorted.
+func WorkloadPresets() []string {
+	var out []string
+	for k := range workloadPresets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// workloadPreset returns a fresh copy of one preset (callers set Name).
+func workloadPreset(name string) (*core.Workload, bool) {
+	w, ok := workloadPresets[name]
+	if !ok {
+		return nil, false
+	}
+	return &w, true
+}
+
+// MachinePresets lists the machine preset names, sorted (the simhw
+// ground-truth model codes).
+func MachinePresets() []string {
+	var out []string
+	for k := range simhw.Truths() {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// machineTopology returns a preset's machine shape without profiling it —
+// the cheap lookup scenario validation uses for range checks.
+func machineTopology(name string) (topology.Machine, error) {
+	mt, ok := simhw.Truths()[name]
+	if !ok {
+		return topology.Machine{}, fmt.Errorf("scenario: unknown machine preset %q (have %v)", name, MachinePresets())
+	}
+	return mt.Topo, nil
+}
+
+// machineCache holds one profiled Description per preset. Describing a
+// machine runs the six-run profiler against the simulated testbed — cheap,
+// but not free, and scenarios replay repeatedly in tests.
+var machineCache struct {
+	sync.Mutex
+	m map[string]*machine.Description
+}
+
+// machinePreset profiles one ground-truth machine preset into a scheduler
+// Description. NoiseSigma is forced to zero: scenario machines must be
+// exactly reproducible, so the machine description (the predictor's
+// coefficient source) cannot depend on measurement-noise draws.
+func machinePreset(name string) (*machine.Description, error) {
+	machineCache.Lock()
+	defer machineCache.Unlock()
+	if md, ok := machineCache.m[name]; ok {
+		return md, nil
+	}
+	mt, ok := simhw.Truths()[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown machine preset %q (have %v)", name, MachinePresets())
+	}
+	mt.NoiseSigma = 0
+	tb, err := simhw.NewTestbed(mt)
+	if err != nil {
+		return nil, err
+	}
+	md, err := machine.Describe(tb)
+	if err != nil {
+		return nil, err
+	}
+	if machineCache.m == nil {
+		machineCache.m = make(map[string]*machine.Description)
+	}
+	machineCache.m[name] = md
+	return md, nil
+}
+
+// FaultsToMachineConfig maps the scenario-level fault knobs onto
+// faults.MachineConfig with the scenario seed.
+func FaultsToMachineConfig(fc FaultsConfig, seed int64) faults.MachineConfig {
+	return faults.MachineConfig{
+		Seed:           seed,
+		ContextFailure: fc.ContextFailure,
+		SocketDegrade:  fc.SocketDegrade,
+		DegradeFactor:  fc.DegradeFactor,
+		PlacementFault: fc.PlacementFault,
+	}
+}
+
+// enabled reports whether any fault class has a non-zero probability.
+func (fc FaultsConfig) enabled() bool {
+	return fc.ContextFailure > 0 || fc.SocketDegrade > 0 || fc.PlacementFault > 0
+}

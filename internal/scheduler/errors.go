@@ -1,0 +1,89 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"pandia/internal/topology"
+)
+
+// AdmissionKind classifies why admission control rejected a job. The kinds
+// are stable identifiers: scenario assertions and operators branch on them.
+type AdmissionKind int
+
+const (
+	// AdmitRateLimited: the token bucket was empty at arrival.
+	AdmitRateLimited AdmissionKind = iota
+	// AdmitNoCapacity: no free healthy hardware context could host the job.
+	AdmitNoCapacity
+	// AdmitOversubscribed: every candidate exceeded Config.AdmissionThreshold.
+	AdmitOversubscribed
+	// AdmitSLOExceeded: every candidate's predicted worst contention
+	// slowdown exceeded Config.SlowdownSLO.
+	AdmitSLOExceeded
+)
+
+// String names the admission kind.
+func (k AdmissionKind) String() string {
+	switch k {
+	case AdmitRateLimited:
+		return "rate-limited"
+	case AdmitNoCapacity:
+		return "no-capacity"
+	case AdmitOversubscribed:
+		return "oversubscribed"
+	case AdmitSLOExceeded:
+		return "slo-exceeded"
+	}
+	return fmt.Sprintf("admission-kind-%d", int(k))
+}
+
+// AdmissionError reports a job rejected by admission control, with the
+// policy that rejected it and a human-readable reason.
+type AdmissionError struct {
+	JobID  string
+	Kind   AdmissionKind
+	Reason string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("scheduler: job %q rejected (%s): %s", e.JobID, e.Kind, e.Reason)
+}
+
+// MoveConflictError reports that a move or migration could not be applied
+// because scheduler state changed between advice and apply time: the job
+// moved, a target context was taken, or a target context is no longer
+// healthy. ApplyMove re-validates at apply time and returns this instead of
+// committing an overlapping or unhealthy placement.
+type MoveConflictError struct {
+	JobID string
+	// Context is the conflicting target context (zero value when the
+	// conflict is the job's own placement having changed).
+	Context topology.Context
+	// Owner is the job now occupying Context, when the conflict is an
+	// occupancy race.
+	Owner string
+	// Health is the context's health state, when the conflict is a cordon
+	// or failure.
+	Health Health
+	// Reason summarises the conflict.
+	Reason string
+}
+
+func (e *MoveConflictError) Error() string {
+	return fmt.Sprintf("scheduler: move of job %q conflicts: %s", e.JobID, e.Reason)
+}
+
+// PlacementCheckError wraps an error returned by Config.PlacementCheck: the
+// external validation hook (fault injection, OS-level pinning dry-run)
+// vetoed a placement commit. The wrapped error is reachable via errors.As.
+type PlacementCheckError struct {
+	JobID string
+	Err   error
+}
+
+func (e *PlacementCheckError) Error() string {
+	return fmt.Sprintf("scheduler: job %q placement failed validation: %v", e.JobID, e.Err)
+}
+
+// Unwrap exposes the hook's error to errors.Is/As.
+func (e *PlacementCheckError) Unwrap() error { return e.Err }

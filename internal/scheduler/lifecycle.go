@@ -1,0 +1,524 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pandia/internal/core"
+	"pandia/internal/obs"
+	"pandia/internal/placement"
+	"pandia/internal/topology"
+)
+
+// Lifecycle metric handles (catalogued in DESIGN.md §9/§11).
+var (
+	metCordons      = obs.Default().Counter("scheduler.lifecycle.cordons")
+	metUncordons    = obs.Default().Counter("scheduler.lifecycle.uncordons")
+	metCtxFailures  = obs.Default().Counter("scheduler.lifecycle.context_failures")
+	metEvictions    = obs.Default().Counter("scheduler.lifecycle.evictions")
+	metDrains       = obs.Default().Counter("scheduler.lifecycle.drains")
+	metMigrations   = obs.Default().Counter("scheduler.lifecycle.migrations")
+	metDrainRetries = obs.Default().Counter("scheduler.lifecycle.drain_retries")
+	metUnhealthy    = obs.Default().Gauge("scheduler.unhealthy_contexts")
+)
+
+// Health is the operational state of one hardware context.
+type Health uint8
+
+const (
+	// Healthy contexts accept new placements.
+	Healthy Health = iota
+	// Cordoned contexts accept no new placements; threads already there
+	// keep running (the state a drain passes through).
+	Cordoned
+	// Failed contexts are unusable; placing on one is a conflict and jobs
+	// occupying one at failure time are evicted.
+	Failed
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Cordoned:
+		return "cordoned"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("health-%d", int(h))
+}
+
+// HealthCounts summarises the machine's context health.
+type HealthCounts struct {
+	Healthy  int `json:"healthy"`
+	Cordoned int `json:"cordoned"`
+	Failed   int `json:"failed"`
+}
+
+// Eviction records one job forcibly removed by Fail or by a drain that
+// could not migrate it.
+type Eviction struct {
+	JobID string
+	// Placement is the placement the job held when evicted.
+	Placement placement.Placement
+	// Reason explains the eviction ("context failed", "drain deadline
+	// exceeded", ...).
+	Reason string
+}
+
+// EvictionReport is the outcome of a Fail call.
+type EvictionReport struct {
+	// Failed lists the contexts newly marked failed, in dense order.
+	Failed []topology.Context
+	// Evicted lists the jobs removed because they occupied a failed
+	// context, in job-ID order.
+	Evicted []Eviction
+}
+
+// Migration records one job moved off drained contexts.
+type Migration struct {
+	JobID    string
+	From, To placement.Placement
+	// Attempts counts placement-validation attempts for the committed
+	// placement (1 = first try).
+	Attempts int
+}
+
+// DrainOptions bounds a drain. The zero value migrates with no retry
+// budget and no deadline: a placement-validation failure evicts at once.
+type DrainOptions struct {
+	// MaxRetries is the per-job budget of extra placement-validation
+	// attempts after the first.
+	MaxRetries int
+	// BackoffUnit is the virtual time charged for the first retry of a
+	// job, doubling per consecutive failure (mirrors faults.Policy);
+	// 0 means the default of 1.
+	//pandia:unit seconds
+	BackoffUnit float64
+	// Deadline bounds the total virtual time the drain may charge to
+	// retries and backoff across all jobs; once exceeded, remaining
+	// affected jobs are evicted instead of migrated. 0 means no bound.
+	//pandia:unit seconds
+	Deadline float64
+}
+
+func (o DrainOptions) backoffUnit() float64 {
+	if o.BackoffUnit > 0 {
+		return o.BackoffUnit
+	}
+	return 1
+}
+
+// DrainReport is the outcome of a drain: which contexts were cordoned and
+// what happened to every affected job. Every affected job appears in
+// exactly one of Migrated or Evicted — a drain never leaves a job on a
+// drained context and never leaves one half-placed.
+type DrainReport struct {
+	// Drained lists the target contexts now cordoned, in dense order.
+	Drained []topology.Context
+	// Migrated and Evicted cover the affected jobs in processing
+	// (job-ID) order.
+	Migrated []Migration
+	Evicted  []Eviction
+	// Retries counts failed placement-validation attempts that were
+	// retried; Cost is the virtual backoff time they were charged.
+	Retries int
+	//pandia:unit seconds
+	Cost float64
+	// DeadlineExceeded reports that the drain ran out of its virtual
+	// deadline and evicted the jobs it had not yet migrated.
+	DeadlineExceeded bool
+}
+
+// healthLocked returns a context's health. The caller must hold mu.
+func (s *Scheduler) healthLocked(c topology.Context) Health {
+	return s.health[c]
+}
+
+// setHealthLocked transitions one context and keeps the unhealthy gauge
+// current. The caller must hold mu.
+func (s *Scheduler) setHealthLocked(c topology.Context, h Health) {
+	if h == Healthy {
+		delete(s.health, c)
+	} else {
+		s.health[c] = h
+	}
+	metUnhealthy.Set(float64(len(s.health)))
+}
+
+// Health returns one context's operational state.
+func (s *Scheduler) Health(c topology.Context) Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthLocked(c)
+}
+
+// HealthCounts summarises context health across the machine.
+func (s *Scheduler) HealthCounts() HealthCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hc := HealthCounts{Healthy: s.md.Topo.TotalContexts() - len(s.health)}
+	for _, h := range s.health {
+		switch h {
+		case Cordoned:
+			hc.Cordoned++
+		case Failed:
+			hc.Failed++
+		}
+	}
+	return hc
+}
+
+// validateContexts rejects contexts not on the machine.
+func (s *Scheduler) validateContexts(ctxs []topology.Context) error {
+	for _, c := range ctxs {
+		if !s.md.Topo.ValidContext(c) {
+			return fmt.Errorf("scheduler: context %v not on machine %s", c, s.md.Topo.Name)
+		}
+	}
+	return nil
+}
+
+// Cordon marks the contexts as accepting no new placements. Jobs already
+// running there are unaffected (use Drain to migrate them off). Already
+// cordoned or failed contexts are left as they are; the number of contexts
+// newly cordoned is returned.
+func (s *Scheduler) Cordon(ctxs ...topology.Context) (int, error) {
+	if err := s.validateContexts(ctxs); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cordonLocked(ctxs), nil
+}
+
+func (s *Scheduler) cordonLocked(ctxs []topology.Context) int {
+	n := 0
+	for _, c := range ctxs {
+		if s.healthLocked(c) == Healthy {
+			s.setHealthLocked(c, Cordoned)
+			n++
+		}
+	}
+	metCordons.Add(int64(n))
+	return n
+}
+
+// CordonSocket cordons every context of one socket.
+func (s *Scheduler) CordonSocket(sock int) (int, error) {
+	ctxs, err := s.socketContexts(sock)
+	if err != nil {
+		return 0, err
+	}
+	return s.Cordon(ctxs...)
+}
+
+// Uncordon returns contexts to service, clearing a cordon or (after a
+// repair) a failure. The number of contexts that changed state is returned.
+func (s *Scheduler) Uncordon(ctxs ...topology.Context) (int, error) {
+	if err := s.validateContexts(ctxs); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range ctxs {
+		if s.healthLocked(c) != Healthy {
+			s.setHealthLocked(c, Healthy)
+			n++
+		}
+	}
+	metUncordons.Add(int64(n))
+	return n, nil
+}
+
+// UncordonSocket returns every context of one socket to service.
+func (s *Scheduler) UncordonSocket(sock int) (int, error) {
+	ctxs, err := s.socketContexts(sock)
+	if err != nil {
+		return 0, err
+	}
+	return s.Uncordon(ctxs...)
+}
+
+// socketContexts lists one socket's contexts in dense order.
+func (s *Scheduler) socketContexts(sock int) ([]topology.Context, error) {
+	if sock < 0 || sock >= s.md.Topo.Sockets {
+		return nil, fmt.Errorf("scheduler: socket %d not on machine %s (%d sockets)",
+			sock, s.md.Topo.Name, s.md.Topo.Sockets)
+	}
+	var out []topology.Context
+	for _, c := range s.md.Topo.Contexts() {
+		if c.Socket == sock {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// Fail marks the contexts as failed and forcibly evicts every job with a
+// thread on one of them. Unlike Drain there is no migration: a failed
+// context's state is gone, so the jobs are removed and reported for the
+// caller to resubmit.
+func (s *Scheduler) Fail(ctxs ...topology.Context) (*EvictionReport, error) {
+	if err := s.validateContexts(ctxs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &EvictionReport{}
+	for _, c := range ctxs {
+		if s.healthLocked(c) != Failed {
+			s.setHealthLocked(c, Failed)
+			rep.Failed = append(rep.Failed, c)
+			metCtxFailures.Inc()
+		}
+	}
+	sortContexts(rep.Failed)
+	failed := make(map[topology.Context]bool, len(ctxs))
+	for _, c := range ctxs {
+		failed[c] = true
+	}
+	for _, id := range s.affectedLocked(failed) {
+		rep.Evicted = append(rep.Evicted, s.evictLocked(id, "context failed"))
+	}
+	return rep, nil
+}
+
+// FailSocket fails every context of one socket.
+func (s *Scheduler) FailSocket(sock int) (*EvictionReport, error) {
+	ctxs, err := s.socketContexts(sock)
+	if err != nil {
+		return nil, err
+	}
+	return s.Fail(ctxs...)
+}
+
+// affectedLocked returns, in sorted order, the IDs of running jobs with at
+// least one thread on a context of the set. The caller must hold mu.
+func (s *Scheduler) affectedLocked(set map[topology.Context]bool) []string {
+	var ids []string
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []string
+	for _, id := range ids {
+		for _, c := range s.running[id].Placement {
+			if set[c] {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// evictLocked removes one job and records the eviction. The caller must
+// hold mu and have verified the job is running.
+func (s *Scheduler) evictLocked(id, reason string) Eviction {
+	a := s.running[id]
+	ev := Eviction{
+		JobID:     id,
+		Placement: append(placement.Placement(nil), a.Placement...),
+		Reason:    reason,
+	}
+	for _, c := range a.Placement {
+		delete(s.occupied, c)
+	}
+	delete(s.running, id)
+	metRunningJobs.Set(float64(len(s.running)))
+	metEvictions.Inc()
+	return ev
+}
+
+// Drain cordons the contexts and migrates every affected job off them with
+// the scheduler's own candidate generators and joint predictor, retrying
+// placements that fail Config.PlacementCheck under the options' bounded
+// retry/backoff budget. Jobs that cannot be migrated — no feasible
+// placement on the remaining healthy contexts, retry budget exhausted, or
+// the drain's virtual deadline blown — are evicted, so the drained
+// contexts are guaranteed free of threads when Drain returns.
+func (s *Scheduler) Drain(ctxs []topology.Context, opt DrainOptions) (*DrainReport, error) {
+	if err := s.validateContexts(ctxs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metDrains.Inc()
+
+	rep := &DrainReport{}
+	s.cordonLocked(ctxs)
+	target := make(map[topology.Context]bool, len(ctxs))
+	for _, c := range ctxs {
+		target[c] = true
+		rep.Drained = append(rep.Drained, c)
+	}
+	sortContexts(rep.Drained)
+
+	for _, id := range s.affectedLocked(target) {
+		if rep.DeadlineExceeded {
+			rep.Evicted = append(rep.Evicted, s.evictLocked(id, "drain deadline exceeded"))
+			continue
+		}
+		s.drainJobLocked(id, opt, rep)
+	}
+	return rep, nil
+}
+
+// DrainSocket drains every context of one socket.
+func (s *Scheduler) DrainSocket(sock int, opt DrainOptions) (*DrainReport, error) {
+	ctxs, err := s.socketContexts(sock)
+	if err != nil {
+		return nil, err
+	}
+	return s.Drain(ctxs, opt)
+}
+
+// drainJobLocked migrates or evicts one affected job, accumulating into
+// rep. The caller must hold mu.
+func (s *Scheduler) drainJobLocked(id string, opt DrainOptions, rep *DrainReport) {
+	a := s.running[id]
+	cand := s.bestMigrationLocked(id, a)
+	if cand == nil {
+		rep.Evicted = append(rep.Evicted, s.evictLocked(id, "no feasible placement off drained contexts"))
+		return
+	}
+	attempts := 0
+	for {
+		attempts++
+		var err error
+		if s.cfg.PlacementCheck != nil {
+			err = s.cfg.PlacementCheck(cand)
+		}
+		if err == nil {
+			from := append(placement.Placement(nil), a.Placement...)
+			for _, c := range a.Placement {
+				delete(s.occupied, c)
+			}
+			for _, c := range cand {
+				s.occupied[c] = id
+			}
+			a.Placement = append(placement.Placement(nil), cand...)
+			rep.Migrated = append(rep.Migrated, Migration{JobID: id, From: from, To: cand, Attempts: attempts})
+			metMigrations.Inc()
+			return
+		}
+		if attempts > opt.MaxRetries {
+			rep.Evicted = append(rep.Evicted, s.evictLocked(id,
+				fmt.Sprintf("placement validation retries exhausted (%d attempts): %v", attempts, err)))
+			return
+		}
+		rep.Retries++
+		metDrainRetries.Inc()
+		rep.Cost += opt.backoffUnit() * math.Pow(2, float64(attempts-1))
+		if opt.Deadline > 0 && rep.Cost > opt.Deadline {
+			rep.DeadlineExceeded = true
+			rep.Evicted = append(rep.Evicted, s.evictLocked(id, "drain deadline exceeded"))
+			return
+		}
+	}
+}
+
+// bestMigrationLocked picks the best re-placement for one job over the free
+// healthy contexts plus the job's own healthy, non-cordoned contexts,
+// scored by joint predicted aggregate throughput with everything else
+// fixed. nil means no feasible placement. The caller must hold mu.
+func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Placement {
+	avail := s.freeLocked()
+	for _, c := range a.Placement {
+		if s.healthLocked(c) == Healthy {
+			avail = append(avail, c)
+		}
+	}
+	sortContexts(avail)
+	n := len(a.Placement)
+	if n > len(avail) {
+		return nil
+	}
+
+	ids := make([]string, 0, len(s.running))
+	for jid := range s.running {
+		ids = append(ids, jid)
+	}
+	sort.Strings(ids)
+	jobs := make([]core.PlacedWorkload, len(ids))
+	idx := -1
+	for i, jid := range ids {
+		ja := s.running[jid]
+		jobs[i] = core.PlacedWorkload{Workload: ja.Job.Workload, Placement: ja.Placement}
+		if jid == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+
+	bestScore := math.Inf(-1)
+	var best placement.Placement
+	seen := make(map[string]bool)
+	for _, gen := range []struct {
+		name string
+		fn   func([]topology.Context, int, topology.Machine) placement.Placement
+	}{
+		{"pack", packFree},
+		{"spread", spreadFree},
+		{"quiet-socket", s.quietSocketFree},
+	} {
+		cand := gen.fn(avail, n, s.md.Topo)
+		if cand == nil || seen[cand.String()] {
+			continue
+		}
+		seen[cand.String()] = true
+		jobs[idx] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
+		co, err := s.co.Predict(jobs)
+		if err != nil {
+			continue
+		}
+		if score := aggregateThroughput(co); score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// CheckConsistency verifies the scheduler's structural invariants: the
+// occupancy map and the running placements are a bijection, no two jobs
+// share a context, and no thread sits on a failed context. The scenario
+// engine calls it after every event; a non-nil error is a scheduler bug.
+func (s *Scheduler) CheckConsistency() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := 0
+	ids := make([]string, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := s.running[id]
+		seen := make(map[topology.Context]bool, len(a.Placement))
+		for _, c := range a.Placement {
+			if seen[c] {
+				return fmt.Errorf("scheduler: job %q placed twice on context %v", id, c)
+			}
+			seen[c] = true
+			if owner, ok := s.occupied[c]; !ok || owner != id {
+				return fmt.Errorf("scheduler: job %q holds context %v but occupancy says %q", id, c, owner)
+			}
+			if s.healthLocked(c) == Failed {
+				return fmt.Errorf("scheduler: job %q still placed on failed context %v", id, c)
+			}
+		}
+		want += len(a.Placement)
+	}
+	if len(s.occupied) != want {
+		return fmt.Errorf("scheduler: occupancy map has %d contexts, running placements hold %d",
+			len(s.occupied), want)
+	}
+	return nil
+}

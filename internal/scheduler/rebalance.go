@@ -95,8 +95,15 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 
 	for i, id := range ids {
 		a := s.running[id]
-		// The job may move anywhere that is free or its own.
-		avail := append(s.freeLocked(), a.Placement...)
+		// The job may move anywhere that is free and healthy, or onto its
+		// own healthy contexts; cordoned contexts it occupies are excluded
+		// so advice naturally migrates jobs off a cordon.
+		avail := s.freeLocked()
+		for _, c := range a.Placement {
+			if s.healthLocked(c) == Healthy {
+				avail = append(avail, c)
+			}
+		}
 		sortContexts(avail)
 		n := len(a.Placement)
 		for _, gen := range []struct {
@@ -149,7 +156,11 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 	return rep.Moves, nil
 }
 
-// ApplyMove commits one advised move, re-pinning the job's threads.
+// ApplyMove commits one advised move, re-pinning the job's threads. The
+// scheduler's state may have changed between RebalanceAdvice and ApplyMove
+// — another job admitted onto a target context, a cordon or failure, the
+// job itself re-placed — so everything is re-validated at apply time; a
+// stale move returns a *MoveConflictError and commits nothing.
 func (s *Scheduler) ApplyMove(m Move) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -158,16 +169,37 @@ func (s *Scheduler) ApplyMove(m Move) error {
 		return fmt.Errorf("scheduler: job %q not running", m.JobID)
 	}
 	if !samePlacement(a.Placement, m.From) {
-		return fmt.Errorf("scheduler: job %q moved since the advice was computed", m.JobID)
+		return &MoveConflictError{JobID: m.JobID,
+			Reason: "job placement changed since the advice was computed"}
 	}
-	// The target may only use contexts that are free or the job's own.
+	// The target must be a valid placement (on-machine, no context twice)
+	// of the same thread count...
+	if err := placement.Placement(m.To).Validate(s.md.Topo); err != nil {
+		return &MoveConflictError{JobID: m.JobID, Reason: err.Error()}
+	}
+	if len(m.To) != len(a.Placement) {
+		return &MoveConflictError{JobID: m.JobID, Reason: fmt.Sprintf(
+			"move changes thread count (%d -> %d)", len(a.Placement), len(m.To))}
+	}
+	// ...using only contexts that are still healthy and still free (or the
+	// job's own).
 	own := make(map[topology.Context]bool, len(a.Placement))
 	for _, c := range a.Placement {
 		own[c] = true
 	}
 	for _, c := range m.To {
+		if h := s.healthLocked(c); h != Healthy {
+			return &MoveConflictError{JobID: m.JobID, Context: c, Health: h,
+				Reason: fmt.Sprintf("target context %v is %s", c, h)}
+		}
 		if owner, used := s.occupied[c]; used && !own[c] {
-			return fmt.Errorf("scheduler: context %v now belongs to %q", c, owner)
+			return &MoveConflictError{JobID: m.JobID, Context: c, Owner: owner,
+				Reason: fmt.Sprintf("target context %v now belongs to %q", c, owner)}
+		}
+	}
+	if s.cfg.PlacementCheck != nil {
+		if cerr := s.cfg.PlacementCheck(placement.Placement(m.To)); cerr != nil {
+			return &PlacementCheckError{JobID: m.JobID, Err: cerr}
 		}
 	}
 	for _, c := range a.Placement {

@@ -15,7 +15,9 @@ package scheduler
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"pandia/internal/core"
@@ -30,6 +32,10 @@ import (
 var (
 	metSubmissions      = obs.Default().Counter("scheduler.submissions")
 	metRejections       = obs.Default().Counter("scheduler.rejections")
+	metRejectRate       = obs.Default().Counter("scheduler.rejections.rate_limited")
+	metRejectSLO        = obs.Default().Counter("scheduler.rejections.slo")
+	metRejectCheck      = obs.Default().Counter("scheduler.rejections.placement_check")
+	metDegradedAdmits   = obs.Default().Counter("scheduler.admissions.degraded")
 	metRunningJobs      = obs.Default().Gauge("scheduler.running_jobs")
 	metRebalanceRuns    = obs.Default().Counter("scheduler.rebalance.runs")
 	metRebalanceMoves   = obs.Default().Counter("scheduler.rebalance.moves_advised")
@@ -57,6 +63,12 @@ type Assignment struct {
 	Prediction *core.Prediction
 	// Strategy names the candidate generator that produced the placement.
 	Strategy string
+	// Degraded marks an admission that violated an admission policy but
+	// was accepted anyway under Config.AdmitDegraded (mirroring
+	// core.Options.AllowDegraded); DegradedReasons names the violated
+	// policies.
+	Degraded        bool
+	DegradedReasons []string
 }
 
 // Config tunes the scheduler.
@@ -68,16 +80,48 @@ type Config struct {
 	// CandidateThreadCounts lists the thread counts tried when a job does
 	// not request one; nil uses a built-in ladder (1, 2, 4, ... machine).
 	CandidateThreadCounts []int
+	// SlowdownSLO rejects candidates under which any job's predicted
+	// contention slowdown — its ideal Amdahl speedup over its predicted
+	// joint speedup — would exceed this bound; 0 disables the SLO.
+	SlowdownSLO float64
+	// AdmissionRate and AdmissionBurst configure a token bucket over
+	// arrivals: AdmissionBurst tokens capacity, refilled at AdmissionRate
+	// tokens per second on Clock, one token consumed per admission.
+	// AdmissionRate 0 disables rate limiting.
+	AdmissionRate  float64
+	AdmissionBurst float64
+	// AdmitDegraded admits the best available candidate even when the
+	// token bucket is empty or every candidate violates SlowdownSLO /
+	// AdmissionThreshold, marking the Assignment Degraded with the
+	// violated policies as reasons — the overload posture mirroring
+	// core.Options.AllowDegraded.
+	AdmitDegraded bool
+	// Clock times the token bucket. nil means wall time; scenario replays
+	// inject an obs.ManualClock so admission decisions are deterministic.
+	Clock obs.Clock
+	// PlacementCheck, when non-nil, is consulted immediately before any
+	// placement commits (admission, applied moves, drain migrations); an
+	// error vetoes that commit. Fault injection hooks in here
+	// (faults.MachineInjector.PlacementCheck), as would an OS-level
+	// pinning dry-run.
+	PlacementCheck func(placement.Placement) error
 }
 
 // Scheduler places jobs on one machine. It is safe for concurrent use.
 type Scheduler struct {
-	md  *machine.Description
-	cfg Config
+	md    *machine.Description
+	cfg   Config
+	clock obs.Clock
 
 	mu       sync.Mutex
 	running  map[string]*Assignment
 	occupied map[topology.Context]string
+	// health records non-healthy contexts; absence means Healthy.
+	health map[topology.Context]Health
+	// tokens / lastRefill implement the admission token bucket.
+	tokens float64
+	//pandia:unit seconds
+	lastRefill float64
 	// co is the reusable joint-prediction pipeline. A CoPredictor owns
 	// mutable engine scratch, so it is only used while mu is held.
 	co *core.CoPredictor
@@ -89,13 +133,25 @@ func New(md *machine.Description, cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scheduler{
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.WallClock()
+	}
+	s := &Scheduler{
 		md:       md,
 		cfg:      cfg,
+		clock:    clock,
 		running:  make(map[string]*Assignment),
 		occupied: make(map[topology.Context]string),
+		health:   make(map[topology.Context]Health),
 		co:       co,
-	}, nil
+	}
+	if cfg.AdmissionRate > 0 {
+		// The bucket starts full so a fresh scheduler accepts a burst.
+		s.tokens = s.burst()
+		s.lastRefill = clock.Now()
+	}
+	return s, nil
 }
 
 // Machine returns the scheduler's machine shape.
@@ -111,9 +167,13 @@ func (s *Scheduler) FreeContexts() []topology.Context {
 func (s *Scheduler) freeLocked() []topology.Context {
 	var out []topology.Context
 	for _, c := range s.md.Topo.Contexts() {
-		if _, used := s.occupied[c]; !used {
-			out = append(out, c)
+		if _, used := s.occupied[c]; used {
+			continue
 		}
+		if s.healthLocked(c) != Healthy {
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }
@@ -163,9 +223,23 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		return nil, fmt.Errorf("scheduler: job %q already running", job.ID)
 	}
 
+	var degradedReasons []string
+	if s.cfg.AdmissionRate > 0 {
+		if !s.takeTokenLocked() {
+			if !s.cfg.AdmitDegraded {
+				metRejectRate.Inc()
+				return nil, &AdmissionError{JobID: job.ID, Kind: AdmitRateLimited,
+					Reason: fmt.Sprintf("token bucket empty (rate %g/s, burst %g)",
+						s.cfg.AdmissionRate, s.burst())}
+			}
+			degradedReasons = append(degradedReasons, "admission: rate limit exceeded, admitted degraded")
+		}
+	}
+
 	free := s.freeLocked()
 	if len(free) == 0 {
-		return nil, fmt.Errorf("scheduler: no free hardware contexts for job %q", job.ID)
+		return nil, &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
+			Reason: "no free healthy hardware contexts"}
 	}
 	counts := s.candidateCounts(job, len(free))
 
@@ -189,17 +263,25 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		}
 	}
 	if len(candidates) == 0 {
-		return nil, fmt.Errorf("scheduler: no feasible placement for job %q (%d free contexts)", job.ID, len(free))
+		return nil, &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
+			Reason: fmt.Sprintf("no feasible placement (%d free contexts)", len(free))}
 	}
 
-	// Joint prediction of each candidate with the running mix.
-	base := make([]core.PlacedWorkload, 0, len(s.running)+1)
-	for _, a := range s.running {
-		base = append(base, core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement})
-	}
+	// Joint prediction of each candidate with the running mix. The mix is
+	// assembled in sorted job-ID order: floating-point accumulation in the
+	// joint solver is order-sensitive, and scenario replays diff outcomes
+	// byte-for-byte, so iterating the running map directly would leak map
+	// order into the predictions.
+	base := s.jobsLocked()
 
 	bestScore := -1.0
 	var best *Assignment
+	// bestAny is the best candidate ignoring the threshold/SLO policies —
+	// what AdmitDegraded falls back to when nothing passes.
+	bestAnyScore := -1.0
+	var bestAny *Assignment
+	var policyViolations []string
+	sawSLO := false
 	seen := make(map[string]bool)
 	for _, cand := range candidates {
 		key := cand.place.String()
@@ -213,31 +295,112 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		if err != nil {
 			return nil, err
 		}
+		score := aggregateThroughput(co)
+		asgn := &Assignment{
+			Job:        job,
+			Placement:  cand.place,
+			Prediction: co.Predictions[len(jobs)-1],
+			Strategy:   cand.strategy,
+		}
+		if score > bestAnyScore {
+			bestAnyScore = score
+			bestAny = asgn
+		}
 		if s.cfg.AdmissionThreshold > 0 && co.WorstOversubscription > s.cfg.AdmissionThreshold {
+			policyViolations = append(policyViolations, fmt.Sprintf(
+				"%s: oversubscription %.2f > threshold %.2f", cand.strategy,
+				co.WorstOversubscription, s.cfg.AdmissionThreshold))
 			continue
 		}
-		score := aggregateThroughput(co)
+		if s.cfg.SlowdownSLO > 0 {
+			if sl := worstSlowdown(co); sl > s.cfg.SlowdownSLO {
+				policyViolations = append(policyViolations, fmt.Sprintf(
+					"%s: worst slowdown %.2f > SLO %.2f", cand.strategy, sl, s.cfg.SlowdownSLO))
+				sawSLO = true
+				continue
+			}
+		}
 		if score > bestScore {
 			bestScore = score
-			best = &Assignment{
-				Job:        job,
-				Placement:  cand.place,
-				Prediction: co.Predictions[len(jobs)-1],
-				Strategy:   cand.strategy,
-			}
+			best = asgn
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("scheduler: job %q rejected: every candidate exceeds the admission threshold %.2f",
-			job.ID, s.cfg.AdmissionThreshold)
+		if !s.cfg.AdmitDegraded || bestAny == nil {
+			kind := AdmitOversubscribed
+			if sawSLO {
+				kind = AdmitSLOExceeded
+				metRejectSLO.Inc()
+			}
+			return nil, &AdmissionError{JobID: job.ID, Kind: kind,
+				Reason: "every candidate violates admission policy: " + strings.Join(policyViolations, "; ")}
+		}
+		best = bestAny
+		degradedReasons = append(degradedReasons,
+			"admission: every candidate violates admission policy, admitted degraded")
 	}
 
+	if s.cfg.PlacementCheck != nil {
+		if cerr := s.cfg.PlacementCheck(best.Placement); cerr != nil {
+			metRejectCheck.Inc()
+			return nil, &PlacementCheckError{JobID: job.ID, Err: cerr}
+		}
+	}
+
+	if len(degradedReasons) > 0 {
+		best.Degraded = true
+		best.DegradedReasons = degradedReasons
+		metDegradedAdmits.Inc()
+	}
 	s.running[job.ID] = best
 	for _, c := range best.Placement {
 		s.occupied[c] = job.ID
 	}
 	metRunningJobs.Set(float64(len(s.running)))
 	return best, nil
+}
+
+// burst returns the token bucket capacity (at least one token).
+func (s *Scheduler) burst() float64 {
+	if s.cfg.AdmissionBurst > 1 {
+		return s.cfg.AdmissionBurst
+	}
+	return 1
+}
+
+// takeTokenLocked refills the admission token bucket from the clock and
+// consumes one token, reporting whether one was available. The caller must
+// hold mu.
+func (s *Scheduler) takeTokenLocked() bool {
+	now := s.clock.Now()
+	if elapsed := now - s.lastRefill; elapsed > 0 {
+		s.tokens += elapsed * s.cfg.AdmissionRate
+		if max := s.burst(); s.tokens > max {
+			s.tokens = max
+		}
+	}
+	s.lastRefill = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// worstSlowdown is the SLO metric: the largest ratio of ideal Amdahl
+// speedup to predicted joint speedup across the co-schedule — how far the
+// worst-affected job is pushed from its contention-free scaling.
+func worstSlowdown(co *core.CoPrediction) float64 {
+	worst := 0.0
+	for _, p := range co.Predictions {
+		if p.Speedup <= 0 {
+			return math.Inf(1)
+		}
+		if sl := p.AmdahlSpeedup / p.Speedup; sl > worst {
+			worst = sl
+		}
+	}
+	return worst
 }
 
 // Remove releases a finished job's contexts.
