@@ -13,7 +13,7 @@ GO ?= go
 # The benchmarks whose trajectory BENCH_core.json tracks.
 BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
 
-.PHONY: check test vet pandia-vet alloccheck fuzz fuzz-smoke scenario-smoke bench bench-smoke bench-gate build
+.PHONY: check test vet pandia-vet alloccheck lockcheck fuzz fuzz-smoke scenario-smoke bench bench-smoke bench-gate build
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,17 @@ pandia-vet:
 alloccheck:
 	$(GO) run ./cmd/pandia-vet -only alloccheck ./...
 
+# lockcheck alone: the lock-discipline proof of the concurrency surface —
+# deadlockcheck (acquisition order, re-entry, blocking under a lock) and
+# guardcheck (//pandia:guardedby field accesses).
+lockcheck:
+	$(GO) run ./cmd/pandia-vet -only deadlockcheck,guardcheck ./...
+
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/pandia-vet ./...
 	$(GO) run ./cmd/pandia-vet -only alloccheck ./...
+	$(GO) run ./cmd/pandia-vet -only deadlockcheck,guardcheck ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-gate
@@ -48,12 +55,14 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzShapeExpand -fuzztime 5s -run '^$$' ./internal/placement/
 	$(GO) test -fuzz FuzzMachineJSON -fuzztime 5s -run '^$$' ./internal/topology/
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime 5s -run '^$$' ./internal/scenario/
+	$(GO) test -fuzz FuzzGuardAnnotation -fuzztime 5s -run '^$$' ./internal/analysis/locks/
 
 fuzz:
 	$(GO) test -fuzz FuzzParseShape -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzShapeExpand -fuzztime 30s ./internal/placement/
 	$(GO) test -fuzz FuzzMachineJSON -fuzztime 30s ./internal/topology/
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime 30s ./internal/scenario/
+	$(GO) test -fuzz FuzzGuardAnnotation -fuzztime 30s ./internal/analysis/locks/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_CORE)' -benchmem . \

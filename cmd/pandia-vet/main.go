@@ -1,8 +1,8 @@
 // Command pandia-vet is the repository's static-analysis multichecker. It
 // runs the custom passes under internal/analysis — unitcheck, unitflow,
 // lockcheck, leakcheck, detlint, detflow, nanguard, mutcheck, errlint,
-// alloccheck — over module packages and exits non-zero if any finding is
-// reported.
+// alloccheck, deadlockcheck, guardcheck — over module packages and exits
+// non-zero if any finding is reported.
 //
 // Usage:
 //
@@ -28,12 +28,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pandia/internal/analysis"
 	"pandia/internal/analysis/alloccheck"
+	"pandia/internal/analysis/deadlockcheck"
 	"pandia/internal/analysis/detflow"
 	"pandia/internal/analysis/detlint"
 	"pandia/internal/analysis/errlint"
+	"pandia/internal/analysis/guardcheck"
 	"pandia/internal/analysis/leakcheck"
 	"pandia/internal/analysis/lockcheck"
 	"pandia/internal/analysis/mutcheck"
@@ -53,6 +56,8 @@ var analyzers = []*analysis.Analyzer{
 	mutcheck.Analyzer,
 	errlint.Analyzer,
 	alloccheck.Analyzer,
+	deadlockcheck.Analyzer,
+	guardcheck.Analyzer,
 }
 
 func main() {
@@ -63,6 +68,7 @@ func main() {
 		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 		verbose = flag.Bool("v", false, "print each package as it is checked")
 		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout instead of text")
+		stats   = flag.Bool("stats", false, "print per-analyzer wall time and finding counts to stderr")
 
 		baseline      = flag.String("baseline", "", "JSON baseline file: fail only on findings not recorded in it")
 		writeBaseline = flag.String("write-baseline", "", "write every current finding to this JSON baseline file and exit 0")
@@ -113,6 +119,8 @@ func main() {
 
 	hardErrors := 0
 	var report []jsonDiagnostic
+	elapsed := make(map[string]time.Duration, len(selected))
+	findings := make(map[string]int, len(selected))
 	for _, path := range pkgs {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -127,7 +135,10 @@ func main() {
 			if !*all && a.Restrict != nil && !a.Restrict(path) {
 				continue
 			}
+			start := time.Now()
 			diags, err := analysis.Run(a, pkg)
+			elapsed[a.Name] += time.Since(start)
+			findings[a.Name] += len(diags)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pandia-vet: %v\n", err)
 				hardErrors++
@@ -149,6 +160,10 @@ func main() {
 				})
 			}
 		}
+	}
+
+	if *stats {
+		printStats(selected, elapsed, findings)
 	}
 
 	if *writeBaseline != "" {
@@ -189,6 +204,19 @@ func main() {
 	if len(report) > 0 || hardErrors > 0 {
 		os.Exit(1)
 	}
+}
+
+// printStats reports each selected analyzer's total wall time across all
+// checked packages and how many findings it produced (pre-baseline), so
+// slow passes are visible before they creep into the edit loop.
+func printStats(selected []*analysis.Analyzer, elapsed map[string]time.Duration, findings map[string]int) {
+	var total time.Duration
+	fmt.Fprintf(os.Stderr, "%-14s %12s %9s\n", "analyzer", "wall", "findings")
+	for _, a := range selected {
+		total += elapsed[a.Name]
+		fmt.Fprintf(os.Stderr, "%-14s %12s %9d\n", a.Name, elapsed[a.Name].Round(time.Microsecond), findings[a.Name])
+	}
+	fmt.Fprintf(os.Stderr, "%-14s %12s\n", "total", total.Round(time.Microsecond))
 }
 
 // baselineKey identifies a finding across line-number drift: the analyzer,

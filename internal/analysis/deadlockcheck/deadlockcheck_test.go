@@ -1,0 +1,12 @@
+package deadlockcheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/deadlockcheck"
+)
+
+func TestDeadlockcheckFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlockcheck.Analyzer, "a")
+}

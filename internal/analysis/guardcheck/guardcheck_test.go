@@ -1,0 +1,12 @@
+package guardcheck_test
+
+import (
+	"testing"
+
+	"pandia/internal/analysis/analysistest"
+	"pandia/internal/analysis/guardcheck"
+)
+
+func TestGuardcheckFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", guardcheck.Analyzer, "a")
+}

@@ -1,0 +1,157 @@
+// Package a is the guardcheck fixture: annotated fields accessed with and
+// without their guards, read-mode violations, entry inference across
+// helpers, majority-vote inference, and suppressions.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	//pandia:guardedby(mu)
+	n    int
+	name string
+}
+
+// New writes through a fresh value: no goroutine can see it yet.
+func New(name string) *Counter {
+	c := &Counter{name: name}
+	c.n = 1
+	return c
+}
+
+// Name reads an unannotated field that is never mutated: read-only after
+// construction, no inference.
+func (c *Counter) Name() string { return c.name }
+
+// Inc holds the guard.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Racy writes without the guard.
+func (c *Counter) Racy() {
+	c.n++ // want `guarded field a\.Counter\.n is written in \(\*a\.Counter\)\.Racy without holding \(a\.Counter\)\.mu`
+}
+
+// bump is only called under mu: the inferred entry set proves it clean.
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Add locks and delegates to bump.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// leak is called without the lock, so the inference cannot prove it; the
+// report names the lock-free call site.
+func (c *Counter) leak() {
+	c.n++ // want `guarded field a\.Counter\.n is written in \(\*a\.Counter\)\.leak without holding \(a\.Counter\)\.mu; \(a\.Counter\)\.mu is not held on entry \(e\.g\. called from \(\*a\.Counter\)\.Leaky at a\.go:\d+\)`
+}
+
+// Leaky calls leak bare.
+func (c *Counter) Leaky() {
+	c.leak()
+}
+
+// Snapshot documents a deliberate bare read.
+func (c *Counter) Snapshot() int {
+	return c.n //guardcheck:ok approximate metric read, staleness is fine
+}
+
+func (c *Counter) badOK() int {
+	return c.n /*guardcheck:ok*/ // want `//guardcheck:ok needs a reason`
+}
+
+type Gauge struct {
+	mu sync.RWMutex
+	//pandia:guardedby(mu)
+	v int
+}
+
+// Read holds the read lock: enough for a read.
+func (g *Gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// Put writes under the write lock.
+func (g *Gauge) Put(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// WeakWrite writes under only the read lock.
+func (g *Gauge) WeakWrite(v int) {
+	g.mu.RLock()
+	g.v = v // want `guarded field a\.Gauge\.v is written in \(\*a\.Gauge\)\.WeakWrite holding only the read lock \(\(a\.Gauge\)\.mu\)`
+	g.mu.RUnlock()
+}
+
+type Twin struct {
+	a sync.Mutex
+	b sync.Mutex
+	//pandia:guardedby(a, b)
+	t int
+}
+
+// UnderB satisfies the any-of declaration with the second lock.
+func (w *Twin) UnderB() {
+	w.b.Lock()
+	w.t++
+	w.b.Unlock()
+}
+
+// Bare holds neither.
+func (w *Twin) Bare() {
+	w.t++ // want `guarded field a\.Twin\.t is written in \(\*a\.Twin\)\.Bare without holding \(a\.Twin\)\.a or \(a\.Twin\)\.b`
+}
+
+type Pool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+// Put accesses free twice under the lock (write + read).
+func (p *Pool) Put(v int) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
+// Len reads under the lock.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Peek is the odd one out: 3 of 4 accesses hold mu, so the guard is
+// inferred and the bare read reported.
+func (p *Pool) Peek() int {
+	return len(p.free) // want `field a\.Pool\.free is accessed under \(a\.Pool\)\.mu on 3 of 4 sites but is read in \(\*a\.Pool\)\.Peek without it \(inferred guard; annotate with //pandia:guardedby\(mu\) or suppress\)`
+}
+
+type Bad struct {
+	mu sync.Mutex
+	//pandia:guardedby(missing) // want `pandia:guardedby\(missing\): no mutex field "missing" in this struct`
+	x int
+}
+
+type Bad2 struct {
+	mu sync.Mutex
+	//pandia:guardedby // want `pandia:guardedby needs a parenthesized lock list`
+	y int
+}
+
+type Bad3 struct {
+	//pandia:guardedby(mu2) // want `pandia:guardedby on a mutex field guards nothing`
+	mu  sync.Mutex
+	mu2 sync.Mutex
+}

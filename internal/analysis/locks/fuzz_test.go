@@ -1,0 +1,68 @@
+package locks
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGuardAnnotation checks the //pandia:guardedby parser never panics,
+// that accepted lock lists are well-formed identifier paths, and that
+// every accepted annotation re-renders into a form the parser accepts
+// with the same meaning.
+func FuzzGuardAnnotation(f *testing.F) {
+	for _, seed := range []string{
+		"//pandia:guardedby(mu)",
+		"//pandia:guardedby(mu, mu2)",
+		"//pandia:guardedby( state.mu )",
+		"/*pandia:guardedby(Mutex)*/",
+		"//pandia:guardedby(mu) // note",
+		"//pandia:guardedby",
+		"//pandia:guardedby()",
+		"//pandia:guardedby(",
+		"//pandia:guardedby(mu",
+		"//pandia:guardedby(mu,)",
+		"//pandia:guardedby(mu))",
+		"//pandia:guardedby(1mu)",
+		"//pandia:guardedby(mu.)",
+		"//pandia:guardedby(.mu)",
+		"//pandia:guardedby(a..b)",
+		"//pandia:guardedby(a b)",
+		"//pandia:guardedby(µ)",
+		"//pandia:guardedby(mu\x00)",
+		"//pandia:guardedby(mu) trailing",
+		"// pandia:guardedby(mu)",
+		"//pandia:noalloc",
+		"/*pandia:guardedby(mu)",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		locks, isGuard, err := ParseGuardAnnotation(s)
+		if !isGuard {
+			if err != nil || locks != nil {
+				t.Fatalf("non-directive %q returned locks=%v err=%v", s, locks, err)
+			}
+			return
+		}
+		if err != nil {
+			if locks != nil {
+				t.Fatalf("error case %q still returned locks %v", s, locks)
+			}
+			return
+		}
+		if len(locks) == 0 {
+			t.Fatalf("accepted %q with an empty lock list", s)
+		}
+		for _, l := range locks {
+			if !validLockPath(l) {
+				t.Fatalf("accepted %q with invalid lock path %q", s, l)
+			}
+		}
+		back := "//pandia:guardedby(" + strings.Join(locks, ", ") + ")"
+		locks2, isGuard2, err2 := ParseGuardAnnotation(back)
+		if !isGuard2 || err2 != nil || strings.Join(locks, ",") != strings.Join(locks2, ",") {
+			t.Fatalf("round trip %q -> %q: locks=%v isGuard=%v err=%v", s, back, locks2, isGuard2, err2)
+		}
+	})
+}

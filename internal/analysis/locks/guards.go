@@ -1,0 +1,323 @@
+package locks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pandia/internal/analysis"
+)
+
+// GuardDecl is one //pandia:guardedby annotation attached to a struct
+// field: the field must only be accessed while holding (at least) one of
+// the named sibling locks.
+type GuardDecl struct {
+	// Field is the annotated field object.
+	Field *types.Var
+	// Locks are the declared guard paths, relative to the owning struct
+	// (e.g. "mu", "state.mu", "Mutex" for an embedded mutex). Multiple
+	// names have any-of semantics.
+	Locks []string
+	// Pos is the annotation comment's position.
+	Pos token.Pos
+}
+
+// structInfo describes one struct type the engine tracks: any struct with
+// a direct mutex field or a guard annotation.
+type structInfo struct {
+	// disp renders the struct for messages: the named type's display form,
+	// or the declaring variable's for anonymous structs.
+	disp string
+	// fields are the struct's direct fields in declaration order.
+	fields []*types.Var
+	// mutexPaths names the direct fields whose type is a sync mutex —
+	// the candidate guards for annotation resolution and inference.
+	mutexPaths []string
+	// guards maps annotated fields to their declarations.
+	guards map[*types.Var]*GuardDecl
+	// pkg is the package the struct is declared in, for anchoring
+	// annotation-error diagnostics to the right pass.
+	pkg *types.Package
+}
+
+// ParseGuardAnnotation parses one comment line as a //pandia:guardedby
+// directive. It returns (nil, false, nil) when the comment is not a
+// guardedby directive at all, the cleaned lock paths on success, and a
+// non-nil error when the directive is present but malformed. The grammar:
+//
+//	//pandia:guardedby(lock{,lock})
+//	lock = ident{.ident}
+//
+// Whitespace around names is ignored; names must be non-empty Go
+// identifier paths.
+func ParseGuardAnnotation(text string) ([]string, bool, error) {
+	body, ok := directiveBody(text)
+	if !ok {
+		return nil, false, nil
+	}
+	if !strings.HasPrefix(body, "(") {
+		return nil, true, fmt.Errorf("pandia:guardedby needs a parenthesized lock list: //pandia:guardedby(mu)")
+	}
+	close := strings.IndexByte(body, ')')
+	if close < 0 {
+		return nil, true, fmt.Errorf("pandia:guardedby: missing closing parenthesis")
+	}
+	if rest := strings.TrimSpace(body[close+1:]); rest != "" && !strings.HasPrefix(rest, "//") {
+		return nil, true, fmt.Errorf("pandia:guardedby: unexpected trailing text %q", rest)
+	}
+	inner := body[1:close]
+	var locks []string
+	for _, part := range strings.Split(inner, ",") {
+		name := strings.TrimSpace(part)
+		if !validLockPath(name) {
+			return nil, true, fmt.Errorf("pandia:guardedby: %q is not a field path (want ident or ident.ident)", name)
+		}
+		locks = append(locks, name)
+	}
+	if len(locks) == 0 {
+		return nil, true, fmt.Errorf("pandia:guardedby: empty lock list")
+	}
+	return locks, true, nil
+}
+
+// directiveBody strips the comment markers and the pandia:guardedby
+// prefix, returning what follows.
+func directiveBody(text string) (string, bool) {
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	default:
+		return "", false
+	}
+	text = strings.TrimSpace(text)
+	const prefix = "pandia:guardedby"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(text[len(prefix):]), true
+}
+
+// validLockPath reports whether s is a dot-separated path of Go
+// identifiers.
+func validLockPath(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, seg := range strings.Split(s, ".") {
+		if !validIdent(seg) {
+			return false
+		}
+	}
+	return true
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectStructs scans every package in the closure for struct types worth
+// tracking (mutex fields or annotations), parsing guard annotations and
+// validating each declared guard path against the struct's own fields.
+// Malformed annotations in the root package are reported through errs.
+func (e *engine) collectStructs(pkgs []*analysis.Package) {
+	e.structs = make(map[*types.Var]*structInfo)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			e.structsInFile(pkg, f)
+		}
+	}
+}
+
+func (e *engine) structsInFile(pkg *analysis.Package, f *ast.File) {
+	// Name the structs that have names: type declarations and the
+	// package-level variables anonymous struct types are declared through.
+	disp := make(map[*ast.StructType]string)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeSpec:
+			if st, ok := n.Type.(*ast.StructType); ok {
+				disp[st] = shortPath(pkg.Path) + "." + n.Name.Name
+			}
+		case *ast.ValueSpec:
+			if st, ok := n.Type.(*ast.StructType); ok && len(n.Names) > 0 {
+				disp[st] = shortPath(pkg.Path) + "." + n.Names[0].Name
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		d := disp[st]
+		if d == "" {
+			d = shortPath(pkg.Path) + ".struct"
+		}
+		e.trackStruct(pkg, st, d)
+		return true
+	})
+}
+
+// trackStruct registers one struct type's fields if the struct has any
+// mutex field or guard annotation.
+func (e *engine) trackStruct(pkg *analysis.Package, st *ast.StructType, disp string) {
+	info := &structInfo{disp: disp, guards: make(map[*types.Var]*GuardDecl), pkg: pkg.Types}
+	type pendingGuard struct {
+		fields []*types.Var
+		locks  []string
+		pos    token.Pos
+	}
+	var pending []pendingGuard
+	for _, fl := range st.Fields.List {
+		var fvars []*types.Var
+		if len(fl.Names) == 0 { // embedded field
+			if v := embeddedFieldVar(pkg.Info, fl.Type); v != nil {
+				fvars = append(fvars, v)
+			}
+		}
+		for _, name := range fl.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				fvars = append(fvars, v)
+			}
+		}
+		if len(fvars) == 0 {
+			continue
+		}
+		info.fields = append(info.fields, fvars...)
+		for _, v := range fvars {
+			if isMutexType(v.Type()) {
+				info.mutexPaths = append(info.mutexPaths, v.Name())
+			}
+		}
+		for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				locks, isGuard, err := ParseGuardAnnotation(c.Text)
+				if !isGuard {
+					continue
+				}
+				if err != nil {
+					e.guardErr(pkg, c.Pos(), err.Error())
+					continue
+				}
+				pending = append(pending, pendingGuard{fields: fvars, locks: locks, pos: c.Pos()})
+			}
+		}
+	}
+	if len(info.mutexPaths) == 0 && len(pending) == 0 {
+		return
+	}
+	// Resolve declared guard paths against the struct's own field tree.
+	for _, pg := range pending {
+		valid := pg.locks[:0]
+		for _, lp := range pg.locks {
+			if e.resolveGuardPath(info, lp) {
+				valid = append(valid, lp)
+			} else {
+				e.guardErr(pkg, pg.pos,
+					fmt.Sprintf("pandia:guardedby(%s): no mutex field %q in this struct", lp, lp))
+			}
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		for _, v := range pg.fields {
+			if isMutexType(v.Type()) {
+				e.guardErr(pkg, pg.pos, "pandia:guardedby on a mutex field guards nothing")
+				continue
+			}
+			info.guards[v] = &GuardDecl{Field: v, Locks: valid, Pos: pg.pos}
+		}
+	}
+	for _, v := range info.fields {
+		e.structs[v] = info
+	}
+}
+
+// embeddedFieldVar resolves the field object of an embedded field from its
+// type expression: for embedded fields go/types records the implicit field
+// *Var in Info.Defs keyed by the type-name identifier.
+func embeddedFieldVar(info *types.Info, t ast.Expr) *types.Var {
+	x := ast.Unparen(t)
+	if s, ok := x.(*ast.StarExpr); ok {
+		x = ast.Unparen(s.X)
+	}
+	var id *ast.Ident
+	switch x := x.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+// resolveGuardPath checks that a declared guard path names a mutex
+// reachable through the struct's fields.
+func (e *engine) resolveGuardPath(info *structInfo, path string) bool {
+	segs := strings.Split(path, ".")
+	fields := info.fields
+	for i, seg := range segs {
+		var f *types.Var
+		for _, v := range fields {
+			if v.Name() == seg {
+				f = v
+				break
+			}
+		}
+		if f == nil {
+			return false
+		}
+		if i == len(segs)-1 {
+			return isMutexType(f.Type())
+		}
+		t := f.Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		fields = fields[:0:0]
+		for j := 0; j < st.NumFields(); j++ {
+			fields = append(fields, st.Field(j))
+		}
+	}
+	return false
+}
+
+// guardErr records a malformed-annotation diagnostic, anchored only when
+// the annotation lives in the root package (dependency packages report
+// their own when vet visits them).
+func (e *engine) guardErr(pkg *analysis.Package, pos token.Pos, msg string) {
+	if pkg.Types != e.pass.Pkg {
+		return
+	}
+	e.result.GuardErrs = append(e.result.GuardErrs, analysis.Diagnostic{Pos: pos, Message: msg})
+}

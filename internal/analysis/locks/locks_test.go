@@ -1,0 +1,73 @@
+package locks
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseGuardAnnotation(t *testing.T) {
+	cases := []struct {
+		text    string
+		locks   []string
+		isGuard bool
+		errPart string
+	}{
+		{"//pandia:guardedby(mu)", []string{"mu"}, true, ""},
+		{"//pandia:guardedby(mu, mu2)", []string{"mu", "mu2"}, true, ""},
+		{"//pandia:guardedby( state.mu )", []string{"state.mu"}, true, ""},
+		{"/*pandia:guardedby(Mutex)*/", []string{"Mutex"}, true, ""},
+		{"//pandia:guardedby(mu) // promoted from the old comment", []string{"mu"}, true, ""},
+		{"// plain comment", nil, false, ""},
+		{"//pandia:noalloc", nil, false, ""},
+		{"//pandia:guardedby", nil, true, "parenthesized lock list"},
+		{"//pandia:guardedby mu", nil, true, "parenthesized lock list"},
+		{"//pandia:guardedby(mu", nil, true, "missing closing parenthesis"},
+		{"//pandia:guardedby()", nil, true, "not a field path"},
+		{"//pandia:guardedby(mu,)", nil, true, "not a field path"},
+		{"//pandia:guardedby(1mu)", nil, true, "not a field path"},
+		{"//pandia:guardedby(mu.)", nil, true, "not a field path"},
+		{"//pandia:guardedby(a b)", nil, true, "not a field path"},
+		{"//pandia:guardedby(mu) trailing", nil, true, "unexpected trailing text"},
+	}
+	for _, c := range cases {
+		locks, isGuard, err := ParseGuardAnnotation(c.text)
+		if isGuard != c.isGuard {
+			t.Errorf("%q: isGuard = %v, want %v", c.text, isGuard, c.isGuard)
+			continue
+		}
+		if c.errPart != "" {
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("%q: err = %v, want containing %q", c.text, err, c.errPart)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", c.text, err)
+			continue
+		}
+		if !reflect.DeepEqual(locks, c.locks) {
+			t.Errorf("%q: locks = %v, want %v", c.text, locks, c.locks)
+		}
+	}
+}
+
+func TestModeAndMinMode(t *testing.T) {
+	if ModeRead.String() != "read" || ModeWrite.String() != "write" {
+		t.Fatalf("mode names: %v %v", ModeRead, ModeWrite)
+	}
+	if minMode(ModeRead, ModeWrite) != ModeRead || minMode(ModeWrite, ModeWrite) != ModeWrite {
+		t.Fatal("minMode is not the weaker mode")
+	}
+}
+
+func TestValidLockPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mu": true, "state.mu": true, "_m1.X_y": true,
+		"": false, ".": false, "a..b": false, "9a": false, "a-b": false,
+	} {
+		if got := validLockPath(path); got != want {
+			t.Errorf("validLockPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

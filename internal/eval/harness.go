@@ -41,8 +41,10 @@ type Harness struct {
 	// and the ablation loops from re-deriving the same placements per sweep.
 	places []placement.Placement
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//pandia:guardedby(mu)
 	profiles map[string]*workload.Profile
+	//pandia:guardedby(mu)
 	measured map[string][]float64 // workload name -> times aligned with Shapes
 }
 

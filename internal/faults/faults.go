@@ -175,7 +175,8 @@ type Injector struct {
 	r   simhw.Runner
 	cfg Config
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//pandia:guardedby(mu)
 	stats Stats
 }
 

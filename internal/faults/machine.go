@@ -141,10 +141,13 @@ type MachineInjector struct {
 	m   topology.Machine
 	cfg MachineConfig
 
-	mu     sync.Mutex
-	draws  int
+	mu sync.Mutex
+	//pandia:guardedby(mu)
+	draws int
+	//pandia:guardedby(mu)
 	checks int
-	stats  MachineStats
+	//pandia:guardedby(mu)
+	stats MachineStats
 }
 
 // NewMachineInjector validates the config against the machine.

@@ -21,8 +21,10 @@ type Clock interface {
 type ManualClock struct {
 	mu sync.Mutex
 	//pandia:unit seconds
+	//pandia:guardedby(mu)
 	now float64
 	//pandia:unit seconds
+	//pandia:guardedby(mu)
 	tick float64
 }
 

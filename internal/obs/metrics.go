@@ -134,9 +134,12 @@ func IterationBuckets() []float64 {
 // meant for init-time wiring; the returned handles are then updated
 // lock-free. A Registry is safe for concurrent use.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.Mutex
+	//pandia:guardedby(mu)
+	counters map[string]*Counter
+	//pandia:guardedby(mu)
+	gauges map[string]*Gauge
+	//pandia:guardedby(mu)
 	histograms map[string]*Histogram
 }
 

@@ -92,11 +92,16 @@ type Tracer interface {
 type RingTracer struct {
 	enabled atomic.Bool
 
-	mu          sync.Mutex
-	clock       Clock
-	buf         []Event
-	next        int
-	total       int64
+	mu sync.Mutex
+	// clock is set once at construction and only read afterwards.
+	clock Clock
+	//pandia:guardedby(mu)
+	buf []Event
+	//pandia:guardedby(mu)
+	next int
+	//pandia:guardedby(mu)
+	total int64
+	//pandia:guardedby(mu)
 	overwritten int64
 }
 

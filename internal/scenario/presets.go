@@ -92,6 +92,7 @@ func machineTopology(name string) (topology.Machine, error) {
 // but not free, and scenarios replay repeatedly in tests.
 var machineCache struct {
 	sync.Mutex
+	//pandia:guardedby(Mutex)
 	m map[string]*machine.Description
 }
 

@@ -460,13 +460,16 @@ func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Plac
 	bestScore := math.Inf(-1)
 	var best placement.Placement
 	seen := make(map[string]bool)
+	busy := s.socketOccupancyLocked()
 	for _, gen := range []struct {
 		name string
 		fn   func([]topology.Context, int, topology.Machine) placement.Placement
 	}{
 		{"pack", packFree},
 		{"spread", spreadFree},
-		{"quiet-socket", s.quietSocketFree},
+		{"quiet-socket", func(free []topology.Context, n int, m topology.Machine) placement.Placement {
+			return quietSocketFree(busy, free, n, m)
+		}},
 	} {
 		cand := gen.fn(avail, n, s.md.Topo)
 		if cand == nil || seen[cand.String()] {

@@ -93,6 +93,10 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 		rep.BaseTimes[i] = baseCo.Predictions[i].Time
 	}
 
+	// Snapshot the per-socket occupancy once, under the lock, so the
+	// quiet-socket strategy below stays a pure function of its inputs.
+	busy := s.socketOccupancyLocked()
+
 	for i, id := range ids {
 		a := s.running[id]
 		// The job may move anywhere that is free and healthy, or onto its
@@ -112,7 +116,9 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 		}{
 			{"pack", packFree},
 			{"spread", spreadFree},
-			{"quiet-socket", s.quietSocketFree},
+			{"quiet-socket", func(free []topology.Context, n int, m topology.Machine) placement.Placement {
+				return quietSocketFree(busy, free, n, m)
+			}},
 		} {
 			cand := gen.fn(avail, n, s.md.Topo)
 			if cand == nil || samePlacement(cand, a.Placement) {

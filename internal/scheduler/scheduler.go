@@ -113,17 +113,23 @@ type Scheduler struct {
 	cfg   Config
 	clock obs.Clock
 
-	mu       sync.Mutex
-	running  map[string]*Assignment
+	mu sync.Mutex
+	//pandia:guardedby(mu)
+	running map[string]*Assignment
+	//pandia:guardedby(mu)
 	occupied map[topology.Context]string
 	// health records non-healthy contexts; absence means Healthy.
+	//pandia:guardedby(mu)
 	health map[topology.Context]Health
 	// tokens / lastRefill implement the admission token bucket.
+	//pandia:guardedby(mu)
 	tokens float64
 	//pandia:unit seconds
+	//pandia:guardedby(mu)
 	lastRefill float64
 	// co is the reusable joint-prediction pipeline. A CoPredictor owns
 	// mutable engine scratch, so it is only used while mu is held.
+	//pandia:guardedby(mu)
 	co *core.CoPredictor
 }
 
@@ -247,6 +253,7 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		place    placement.Placement
 		strategy string
 	}
+	busy := s.socketOccupancyLocked()
 	var candidates []candidate
 	for _, n := range counts {
 		for _, gen := range []struct {
@@ -255,7 +262,9 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		}{
 			{"pack", packFree},
 			{"spread", spreadFree},
-			{"quiet-socket", s.quietSocketFree},
+			{"quiet-socket", func(free []topology.Context, n int, m topology.Machine) placement.Placement {
+				return quietSocketFree(busy, free, n, m)
+			}},
 		} {
 			if p := gen.fn(free, n, s.md.Topo); p != nil {
 				candidates = append(candidates, candidate{p, gen.name})
@@ -529,15 +538,22 @@ func spreadFree(free []topology.Context, n int, m topology.Machine) placement.Pl
 	return placement.Placement(ordered[:n])
 }
 
-// quietSocketFree fills sockets in increasing order of foreign occupancy,
-// isolating the new job from running ones where possible.
-func (s *Scheduler) quietSocketFree(free []topology.Context, n int, m topology.Machine) placement.Placement {
-	if n > len(free) {
-		return nil
-	}
-	busy := make([]int, m.Sockets)
+// socketOccupancyLocked counts occupied contexts per socket — the foreign-
+// occupancy snapshot quiet-socket placement ranks sockets by.
+func (s *Scheduler) socketOccupancyLocked() []int {
+	busy := make([]int, s.md.Topo.Sockets)
 	for c := range s.occupied {
 		busy[c.Socket]++
+	}
+	return busy
+}
+
+// quietSocketFree fills sockets in increasing order of foreign occupancy
+// (busy[socket] = occupied contexts, snapshotted under the scheduler lock),
+// isolating the new job from running ones where possible.
+func quietSocketFree(busy []int, free []topology.Context, n int, m topology.Machine) placement.Placement {
+	if n > len(free) {
+		return nil
 	}
 	order := make([]int, m.Sockets)
 	for i := range order {
