@@ -10,8 +10,11 @@
 
 GO ?= go
 
-# The benchmarks whose trajectory BENCH_core.json tracks.
-BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements
+# The benchmarks whose trajectory BENCH_core.json tracks. The unanchored
+# BenchmarkPredictSweep also matches BenchmarkPredictSweepWarm (the
+# cache-served sweep); the last three cover the incremental fast path of
+# DESIGN.md §12.
+BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements|BenchmarkPredictTimeWarm$$|BenchmarkCacheHit$$|BenchmarkSweepPruned$$
 
 .PHONY: check test vet pandia-vet alloccheck lockcheck fuzz fuzz-smoke scenario-smoke bench bench-smoke bench-gate build
 
@@ -64,25 +67,38 @@ fuzz:
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime 30s ./internal/scenario/
 	$(GO) test -fuzz FuzzGuardAnnotation -fuzztime 30s ./internal/analysis/locks/
 
+# -count=3 with benchjson's min-of-N collapsing: external load on a shared
+# host only ever inflates a sample, so the fastest repeat is the stable
+# estimator, on both the recording and the gating side.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_CORE)' -benchmem . \
+	$(GO) test -run '^$$' -bench '$(BENCH_CORE)' -benchmem -count=3 . \
 	  | $(GO) run ./cmd/pandia-benchjson -label current -out BENCH_core.json
 
 # bench-smoke is the CI-sized pass: a few iterations of the allocation-
 # sensitive micro-benchmarks, parsed but not recorded, so a broken bench or
 # parser fails the gate without paying for a full measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchtime 5x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictTimeWarm$$|BenchmarkCacheHit$$|BenchmarkSweepPruned$$' -benchtime 5x -benchmem . \
 	  | $(GO) run ./cmd/pandia-benchjson -label smoke -out ''
 
-# bench-gate is the observability overhead gate: with metrics and a
-# disabled tracer wired into the predictor, the reuse fast path must stay
-# at 0 allocs/op and both micro-benchmarks within 5% ns/op of the recorded
-# "current" run in BENCH_core.json. Refresh the reference with `make bench`
-# after intentional perf changes.
+# bench-gate is the perf/observability overhead gate: the fast paths must
+# stay at 0 allocs/op (exact, the primary regression teeth) and within
+# BENCH_TOLERANCE ns/op of the recorded "current" run in BENCH_core.json.
+# Refresh the reference with `make bench` after intentional perf changes.
+#
+# The ns/op tolerance is wide because gate hosts are shared single-core
+# containers where neighbour load swings measurements by double-digit
+# percent for minutes at a time; min-of-5 sampling (benchjson collapses
+# -count repeats to the fastest) plus this margin catches real structural
+# regressions without flaking on load. benchjson is built before the
+# benchmarks run so its compile never competes with the measurement.
+BENCH_TOLERANCE ?= 0.35
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchmem . \
-	  | $(GO) run ./cmd/pandia-benchjson -gate current -zero-alloc BenchmarkPredictorReuse -out BENCH_core.json
+	$(GO) build -o /tmp/pandia-benchjson ./cmd/pandia-benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictOnce$$|BenchmarkPredictorReuse' -benchmem -count=5 . \
+	  | /tmp/pandia-benchjson -gate current -gate-tolerance $(BENCH_TOLERANCE) -zero-alloc BenchmarkPredictorReuse -out BENCH_core.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictTimeWarm$$|BenchmarkCacheHit$$|BenchmarkSweepPruned$$' -benchmem -count=5 . \
+	  | /tmp/pandia-benchjson -gate current -gate-tolerance $(BENCH_TOLERANCE) -zero-alloc BenchmarkPredictTimeWarm,BenchmarkCacheHit -out BENCH_core.json
 
 # scenario-smoke is the replay-determinism gate: every bundled scenario in
 # scenarios/ must pass its assertions and two separate replay processes

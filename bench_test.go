@@ -413,6 +413,125 @@ func BenchmarkPredictSweep(b *testing.B) {
 	b.ReportMetric(float64(len(places)), "placements")
 }
 
+// BenchmarkPredictTimeWarm measures the warm fast path: a pooled Predictor
+// with the canonical prediction cache attached re-predicting a placement it
+// has already solved, so every iteration is a cache hit (DESIGN.md §12).
+// The allocation report should read 0 allocs/op.
+func BenchmarkPredictTimeWarm(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	place, err := placement.Spread(h.TB.Machine(), h.TB.Machine().TotalContexts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewPredictor(h.MD, &prof.Workload, core.Options{Cache: core.NewPredictionCache(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.PredictTime(place); err != nil { // populate the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictTime(place); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures steady-state cache-hit throughput across a
+// whole placement set: the cache is populated by one cold sweep, then every
+// lookup hits. Key derivation (the canonical content hash) dominates, so
+// this bounds what a fully warmed sweep costs per placement.
+func BenchmarkCacheHit(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	places := h.Placements()
+	cache := core.NewPredictionCache(0)
+	p, err := core.NewPredictor(h.MD, &prof.Workload, core.Options{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, place := range places { // populate the cache
+		if _, err := p.PredictTime(place); err != nil {
+			b.Fatal(err)
+		}
+	}
+	before := cache.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictTime(places[i%len(places)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := cache.Stats()
+	timed := core.CacheStats{Hits: after.Hits - before.Hits, Misses: after.Misses - before.Misses}
+	b.ReportMetric(100*timed.HitRate(), "hit-rate-%")
+}
+
+// BenchmarkPredictSweepWarm measures a full fast-path sweep served from a
+// populated prediction cache — the steady state of repeated Recommend or
+// eval sweeps over the same workload. This is the sweep-throughput number
+// the cache layer buys (every hit bit-identical to the cold solve).
+func BenchmarkPredictSweepWarm(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	places := h.Placements()
+	opt := core.Options{Cache: core.NewPredictionCache(0)}
+	if _, err := core.PredictSweep(h.MD, &prof.Workload, places, opt); err != nil { // populate the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PredictSweep(h.MD, &prof.Workload, places, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(places)), "placements")
+}
+
+// BenchmarkSweepPruned measures the Recommend-style pruned sweep over the
+// harness's whole evaluation placement set at the default target fraction:
+// placements whose Amdahl bound cannot reach 95% of the incumbent are
+// skipped without solving.
+func BenchmarkSweepPruned(b *testing.B) {
+	h := harnessFor(b, "x5-2")
+	e := entriesNamed(b, "CG")[0]
+	prof, err := h.Profile(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	places := h.Placements()
+	var stats core.SweepStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := core.PredictSweepPruned(h.MD, &prof.Workload, places, core.Options{}, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = st
+	}
+	b.ReportMetric(float64(len(places)), "placements")
+	b.ReportMetric(100*stats.PruneRate(), "prune-rate-%")
+}
+
 // BenchmarkTestbedRun measures one ground-truth simulation run.
 func BenchmarkTestbedRun(b *testing.B) {
 	h := harnessFor(b, "x5-2")

@@ -8,6 +8,11 @@
 // place, so "baseline" stays pinned while "current" follows the tree. With
 // -out "" the parsed run is printed and nothing is written (CI smoke mode).
 //
+// Repeated lines of one benchmark (go test -count=N) collapse to the
+// fastest: external load only inflates measurements, so min-of-N is the
+// noise-robust estimator on shared hosts, applied identically when
+// recording and when gating.
+//
 // With -gate <label>, nothing is recorded: the parsed run is compared
 // against the labelled run in -out and the command fails when a benchmark
 // regresses by more than -gate-tolerance in ns/op, or when a benchmark
@@ -67,6 +72,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pandia-benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	collapseBest(run)
 	run.Label = *label
 	run.Date = time.Now().UTC().Format("2006-01-02")
 	if len(run.Benchmarks) == 0 {
@@ -246,6 +252,28 @@ func parse(r *os.File) (*Run, error) {
 		return nil, err
 	}
 	return run, nil
+}
+
+// collapseBest merges repeated lines of the same benchmark (go test
+// -count=N) into one entry keeping the lowest ns/op. Under external load —
+// shared CI hosts, single-CPU containers — interference only ever inflates a
+// measurement, so the minimum over repeats is the most stable estimator of
+// the true cost; recording and gating both collapse, so the comparison is
+// min-vs-min and immune to load drift between the two runs.
+func collapseBest(run *Run) {
+	idx := make(map[string]int, len(run.Benchmarks))
+	kept := run.Benchmarks[:0]
+	for _, b := range run.Benchmarks {
+		if i, ok := idx[b.Name]; ok {
+			if b.NsPerOp < kept[i].NsPerOp {
+				kept[i] = b
+			}
+			continue
+		}
+		idx[b.Name] = len(kept)
+		kept = append(kept, b)
+	}
+	run.Benchmarks = kept
 }
 
 // trimProcSuffix drops the -GOMAXPROCS suffix Go appends to benchmark names

@@ -375,8 +375,11 @@ func noise(hc harnessCache, entries []bench.Entry) error {
 
 // throughput measures batched prediction throughput on the X5-2: repeated
 // full-zoo PredictAll sweeps over every enumerated placement, reported as
-// placements predicted per second. Timing lives here rather than in
-// internal/eval because wall-clock reads are confined to cmd/ (detlint).
+// placements predicted per second, with the prediction cache's hit rate
+// (round 1 is all misses, later rounds all hits) and a pruned-sweep pass
+// reporting how much of the space the dominance bound skips. Timing lives
+// here rather than in internal/eval because wall-clock reads are confined
+// to cmd/ (detlint).
 func throughput(hc harnessCache, entries []bench.Entry) error {
 	h, err := hc.get("x5-2")
 	if err != nil {
@@ -384,6 +387,7 @@ func throughput(hc harnessCache, entries []bench.Entry) error {
 	}
 	const rounds = 3
 	var preds int
+	cacheBefore := h.Cache().Stats()
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
 		for _, e := range entries {
@@ -400,9 +404,40 @@ func throughput(hc harnessCache, entries []bench.Entry) error {
 	}
 	elapsed := time.Since(start)
 	perSec := float64(preds) / elapsed.Seconds()
+	after := h.Cache().Stats()
+	delta := core.CacheStats{
+		Hits:      after.Hits - cacheBefore.Hits,
+		Misses:    after.Misses - cacheBefore.Misses,
+		Evictions: after.Evictions - cacheBefore.Evictions,
+	}
 	fmt.Printf("%d predictions (%d workloads x %d placements x %d rounds) in %v: %.0f placements/s\n",
 		preds, len(entries), len(h.Placements()), rounds,
 		elapsed.Round(time.Millisecond), perSec)
+	fmt.Printf("cache: %d hits / %d misses (hit-rate %.1f%%), %d evictions\n",
+		delta.Hits, delta.Misses, 100*delta.HitRate(), delta.Evictions)
+
+	// Pruned sweep: the Recommend-style search (frac 0.95) over the same
+	// placement set, on a cold cache so pruning is measured rather than
+	// hidden behind hits.
+	var sweep core.SweepStats
+	prunedStart := time.Now()
+	for _, e := range entries {
+		prof, err := h.Profile(e)
+		if err != nil {
+			return err
+		}
+		_, st, err := core.PredictSweepPruned(h.MD, &prof.Workload, h.Placements(), core.Options{}, 0.95)
+		if err != nil {
+			return err
+		}
+		sweep.Evaluated += st.Evaluated
+		sweep.Pruned += st.Pruned
+	}
+	prunedElapsed := time.Since(prunedStart)
+	prunedPerSec := float64(sweep.Evaluated+sweep.Pruned) / prunedElapsed.Seconds()
+	fmt.Printf("pruned sweep (frac 0.95): %d evaluated / %d pruned (prune-rate %.1f%%) in %v: %.0f placements/s\n",
+		sweep.Evaluated, sweep.Pruned, 100*sweep.PruneRate(),
+		prunedElapsed.Round(time.Millisecond), prunedPerSec)
 	return nil
 }
 

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"pandia/internal/placement"
+)
+
+// TestPredictTimeCachedBitIdentical checks the canonical cache is invisible
+// to results: a cached predictor's outputs — on misses and on hits — are
+// bit-for-bit the cold predictor's outputs.
+func TestPredictTimeCachedBitIdentical(t *testing.T) {
+	md := quickMachine()
+	w := quickWorkload(80, 120, 60, 200, 180, 90, 140)
+	cold, err := NewPredictor(md, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPredictionCache(0)
+	warm, err := NewPredictor(md, w, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint16(0); seed < 64; seed++ {
+		place := quickPlacement(md.Topo, seed, uint8(seed*7))
+		want, err := cold.PredictTime(place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss, err := warm.PredictTime(place) // first call: miss, fresh solve
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := warm.PredictTime(place) // second call: served from cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss != want || hit != want {
+			t.Fatalf("seed %d: cold=%+v miss=%+v hit=%+v", seed, want, miss, hit)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache never exercised both paths: %+v", st)
+	}
+}
+
+// TestPredictionCacheMachineMutation mutates the machine description in
+// place after populating the cache. The content hash covers the machine, so
+// the stale entry must not be served: the next prediction has to match a
+// fresh cold solve against the mutated description.
+func TestPredictionCacheMachineMutation(t *testing.T) {
+	md := quickMachine()
+	w := quickWorkload(40, 90, 130, 255, 170, 60, 100)
+	cache := NewPredictionCache(0)
+	p, err := NewPredictor(md, w, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := quickPlacement(md.Topo, 17, 11)
+	before, err := p.PredictTime(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	md.DRAMBW /= 50 // in-place mutation, no Invalidate call; makes DRAM the binding resource
+
+	after, err := p.PredictTime(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshMD := quickMachine()
+	freshMD.DRAMBW /= 50
+	fresh, err := NewPredictor(freshMD, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.PredictTime(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != want {
+		t.Fatalf("stale entry served after mutation: got %+v, want %+v", after, want)
+	}
+	if after == before {
+		t.Fatal("mutation had no effect; test is vacuous")
+	}
+}
+
+// TestPredictionCacheInvalidate checks the epoch bump: entries stored before
+// Invalidate can never be served afterwards, even for identical inputs.
+func TestPredictionCacheInvalidate(t *testing.T) {
+	md := quickMachine()
+	w := quickWorkload(70, 70, 70, 70, 70, 70, 70)
+	cache := NewPredictionCache(0)
+	p, err := NewPredictor(md, w, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := quickPlacement(md.Topo, 3, 9)
+	if _, err := p.PredictTime(place); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len = %d after one store", cache.Len())
+	}
+
+	cache.Invalidate()
+
+	if cache.Len() != 0 {
+		t.Fatalf("Len = %d after Invalidate", cache.Len())
+	}
+	misses := cache.Stats().Misses
+	if _, err := p.PredictTime(place); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got != misses+1 {
+		t.Fatalf("post-invalidate lookup was not a miss: misses %d -> %d", misses, got)
+	}
+	if ev := cache.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+}
+
+// TestPredictionCacheEviction drives a tiny-capacity cache past its bound
+// and checks the wholesale replacement fires and is counted.
+func TestPredictionCacheEviction(t *testing.T) {
+	md := quickMachine()
+	w := quickWorkload(120, 30, 200, 90, 250, 10, 60)
+	cache := NewPredictionCache(4)
+	p, err := NewPredictor(md, w, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint16(0); seed < 32; seed++ {
+		if _, err := p.PredictTime(quickPlacement(md.Topo, seed, uint8(seed))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions after 32 inserts into capacity 4: %+v", st)
+	}
+	if cache.Len() > 4 {
+		t.Fatalf("Len = %d exceeds capacity 4", cache.Len())
+	}
+}
+
+// TestPredictTimeWarmZeroAllocs pins the zero-allocation property of the
+// cached hit path at runtime (alloccheck proves it statically).
+func TestPredictTimeWarmZeroAllocs(t *testing.T) {
+	if invariantChecks.Load() {
+		t.Skip("invariant-check mode routes through the allocating full path")
+	}
+	md := quickMachine()
+	w := quickWorkload(90, 140, 50, 180, 200, 40, 110)
+	p, err := NewPredictor(md, w, Options{Cache: NewPredictionCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := quickPlacement(md.Topo, 29, 13)
+	if _, err := p.PredictTime(place); err != nil { // populate
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.PredictTime(place); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PredictTime allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestPredictSweepPrunedMatchesFull checks dominance pruning is admissible:
+// every placement the pruned sweep does solve is bit-identical to the full
+// sweep, every pruned placement's Amdahl bound really is below the target
+// fraction of the returned best, and the best placement itself survives.
+func TestPredictSweepPrunedMatchesFull(t *testing.T) {
+	md := quickMachine()
+	w := quickWorkload(100, 80, 160, 120, 220, 70, 150)
+	// A placement set with varied thread counts, so the Amdahl bound has
+	// real spread to prune against.
+	var pls []placement.Placement
+	for seed := uint16(0); seed < 200; seed++ {
+		pls = append(pls, quickPlacement(md.Topo, seed, uint8(seed*3)))
+	}
+	sweep, err := PredictSweep(md, w, pls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frac = 0.95
+	pruned, stats, err := PredictSweepPruned(md, w, pls, Options{}, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != len(sweep) {
+		t.Fatalf("length mismatch: %d vs %d", len(pruned), len(sweep))
+	}
+	if stats.Evaluated+stats.Pruned != int64(len(pls)) {
+		t.Fatalf("stats do not cover the sweep: %+v over %d placements", stats, len(pls))
+	}
+
+	// Best of the full sweep, strict-> argmax as Recommend uses.
+	best, bestIdx := -1.0, -1
+	for i, p := range sweep {
+		if p.Speedup > best {
+			best, bestIdx = p.Speedup, i
+		}
+	}
+	if pruned[bestIdx].Pruned {
+		t.Fatalf("best placement %d was pruned", bestIdx)
+	}
+	for i := range pruned {
+		if pruned[i].Pruned {
+			if bound := w.AmdahlSpeedup(len(pls[i])); bound >= frac*best {
+				t.Fatalf("placement %d pruned with bound %.6f >= %.6f", i, bound, frac*best)
+			}
+			continue
+		}
+		if pruned[i] != sweep[i] {
+			t.Fatalf("placement %d: pruned sweep %+v != full sweep %+v", i, pruned[i], sweep[i])
+		}
+	}
+	if stats.Pruned == 0 {
+		t.Fatal("sweep pruned nothing; test exercises no pruning")
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"pandia/internal/machine"
+	"pandia/internal/topology"
+)
+
+// This file is the CoPredictor's incremental-solve machinery (DESIGN.md
+// §12): after every successful joint solve the converged per-thread state is
+// copied into a slab, and the next Predict call compares its job list
+// against the previous one by canonical content signature.
+//
+//   - An *exact* repeat (same machine, same jobs, same placements, in the
+//     same order) restores the saved state and skips the fixed-point loop
+//     entirely. The restored state IS the state a cold re-solve would reach
+//     — the solver is deterministic — so this reuse is bit-identical by
+//     construction and is always on.
+//   - A *one-job delta* (one job joined, left, or changed placement) can
+//     seed the iteration from the previous converged utilisations under
+//     Options.WarmStart. The warm trajectory differs from the cold one, so
+//     the result agrees only to within the convergence tolerance; replay-
+//     diffed callers leave the flag off.
+//   - Anything else solves cold, exactly as before.
+//
+// All slabs grow once to the largest mix seen and are reused after that, so
+// the memo adds no steady-state allocations to CoPredictor.Predict.
+
+// sigStride is the canonical signature width per job: the workload content
+// digest pair and the placement digest pair. Two jobs with equal signatures
+// are the same solve input (the verifier digests make a collision
+// astronomically unlikely, matching the prediction caches' guarantee).
+const sigStride = 4
+
+// coMatch is the outcome of comparing a Predict call's job list with the
+// memoized previous one.
+type coMatch struct {
+	// exact reports a bitwise-identical mix: every job matches positionally.
+	exact bool
+	// ok reports that src is valid: the mix differs from the previous one by
+	// at most one job (exact implies ok).
+	ok bool
+	// src maps each current job index to the previous job whose converged
+	// state it can reuse, or -1 for the joined/changed job.
+	src []int
+}
+
+// warm reports a one-job delta eligible for warm-start seeding.
+func (m coMatch) warm() bool { return m.ok && !m.exact }
+
+// coMemo holds one converged solve: the job signatures that produced it and
+// every per-thread output array the assembly step reads.
+type coMemo struct {
+	have             bool
+	mdKey, mdVerify  uint64
+	sig              []uint64 // committed signatures, sigStride words per job
+	curSig           []uint64 // the in-flight call's signatures (swapped into sig on save)
+	nJobs            int
+	off              []int // thread-block offset per job, len nJobs+1
+	sCaps            []float64
+	state            []float64 // 5 floats per thread: f, sRes, sTot, commPen, lbPen
+	kinds            []topology.ResourceKind
+	iters            int
+	converged        bool
+	src              []int // match scratch, reused across calls
+}
+
+// invalidate forgets the saved state (called on any solve error, and under
+// the runtime invariant checks, which deliberately re-run everything).
+func (m *coMemo) invalidate() { m.have = false }
+
+// sigEq compares current job c's signature with previous job p's.
+func (m *coMemo) sigEq(c, p int) bool {
+	a := m.curSig[sigStride*c : sigStride*c+sigStride]
+	b := m.sig[sigStride*p : sigStride*p+sigStride]
+	return a[0] == b[0] && a[1] == b[1] && a[2] == b[2] && a[3] == b[3]
+}
+
+// block returns previous job j's saved per-thread arrays.
+func (m *coMemo) block(j int) (f, sRes, sTot, commPen, lbPen []float64, kinds []topology.ResourceKind) {
+	b, n := m.off[j], m.off[j+1]-m.off[j]
+	s := m.state[5*b:]
+	return s[:n], s[n : 2*n], s[2*n : 3*n], s[3*n : 4*n], s[4*n : 5*n], m.kinds[b : b+n]
+}
+
+// match digests the call's machine and job list and aligns it with the
+// memoized previous call: identical → exact; an edit distance of one job
+// (insert, delete, or substitute, positions otherwise preserved) → warm
+// candidate; anything else → no match. It always records the current
+// signatures so a following save can commit them without rehashing.
+func (m *coMemo) match(md *machine.Description, placed []PlacedWorkload) coMatch {
+	// A mutated machine description silently invalidates the saved state —
+	// the same content-hash rule the prediction caches apply through their
+	// keys.
+	hm := newCanonHash()
+	hm.machine(md)
+	sameMachine := m.have && hm.key == m.mdKey && hm.verify == m.mdVerify
+	m.mdKey, m.mdVerify = hm.key, hm.verify
+
+	need := sigStride * len(placed)
+	if cap(m.curSig) < need {
+		m.curSig = make([]uint64, need) //alloccheck:ok signature slab grows once per larger mix; steady state reuses it
+	}
+	m.curSig = m.curSig[:need]
+	for i, pw := range placed {
+		if pw.Workload == nil {
+			// bind rejects the mix before anything could be saved; bail so
+			// the signature pass never dereferences the nil workload.
+			return coMatch{}
+		}
+		hw := newCanonHash()
+		hw.workload(pw.Workload)
+		hp := newCanonHash()
+		hp.placement(pw.Placement)
+		s := m.curSig[sigStride*i : sigStride*i+sigStride]
+		s[0], s[1], s[2], s[3] = hw.key, hw.verify, hp.key, hp.verify
+	}
+	if !sameMachine {
+		return coMatch{}
+	}
+
+	lc, lp := len(placed), m.nJobs
+	if cap(m.src) < lc {
+		m.src = make([]int, lc) //alloccheck:ok match scratch grows once per larger mix; steady state reuses it
+	}
+	src := m.src[:lc]
+	switch {
+	case lc == lp:
+		mismatch := -1
+		for i := 0; i < lc; i++ {
+			if m.sigEq(i, i) {
+				src[i] = i
+				continue
+			}
+			if mismatch >= 0 {
+				return coMatch{}
+			}
+			mismatch = i
+			src[i] = -1
+		}
+		return coMatch{exact: mismatch < 0, ok: true, src: src}
+	case lc == lp+1:
+		d := 0
+		for d < lp && m.sigEq(d, d) {
+			d++
+		}
+		for i := 0; i < d; i++ {
+			src[i] = i
+		}
+		src[d] = -1
+		for i := d + 1; i < lc; i++ {
+			if !m.sigEq(i, i-1) {
+				return coMatch{}
+			}
+			src[i] = i - 1
+		}
+		return coMatch{ok: true, src: src}
+	case lc == lp-1:
+		d := 0
+		for d < lc && m.sigEq(d, d) {
+			d++
+		}
+		for i := 0; i < d; i++ {
+			src[i] = i
+		}
+		for i := d; i < lc; i++ {
+			if !m.sigEq(i, i+1) {
+				return coMatch{}
+			}
+			src[i] = i + 1
+		}
+		return coMatch{ok: true, src: src}
+	}
+	return coMatch{}
+}
+
+// restore copies the saved converged state back into the (just re-bound)
+// engine's jobs — valid only after an exact match, where job order, counts,
+// and placements all coincide with the saved solve.
+func (m *coMemo) restore(e *engine) {
+	for idx, j := range e.jobs {
+		f, sRes, sTot, commPen, lbPen, kinds := m.block(idx)
+		copy(j.f, f)
+		copy(j.sRes, sRes)
+		copy(j.sTot, sTot)
+		copy(j.commPen, commPen)
+		copy(j.lbPen, lbPen)
+		copy(j.bottleneck, kinds)
+		j.sCap = m.sCaps[idx]
+		j.capLocked = true
+	}
+}
+
+// seed prepares a warm-started solve on a one-job delta. The slowdown cap of
+// §5.4 is part of the fixed point, not just the trajectory — it is captured
+// from the first iteration's values — so seed first runs exactly one
+// refinement round from the standard Amdahl initialisation, capturing every
+// job's cap precisely as a cold solve of this mix would. Only then do the
+// carried-over jobs jump to their previous converged utilisations, with all
+// caps locked so the main loop keeps them.
+func (m *coMemo) seed(e *engine, match coMatch, opt Options) {
+	first := opt
+	first.SinglePass = true
+	first.Tracer = nil
+	e.iterate(first)
+	for idx, j := range e.jobs {
+		j.capLocked = true
+		if s := match.src[idx]; s >= 0 {
+			f, _, _, _, _, _ := m.block(s)
+			copy(j.f, f)
+		}
+	}
+}
+
+// save memoizes the engine's solved state. The signatures recorded by the
+// preceding match call are committed by swapping the slabs — the hash work
+// is never done twice.
+func (m *coMemo) save(e *engine, iters int, converged bool) {
+	total := 0
+	for _, j := range e.jobs {
+		total += len(j.place)
+	}
+	if cap(m.off) < len(e.jobs)+1 {
+		m.off = make([]int, len(e.jobs)+1) //alloccheck:ok state slab grows once per larger mix; steady state reuses it
+	}
+	m.off = m.off[:len(e.jobs)+1]
+	if cap(m.sCaps) < len(e.jobs) {
+		m.sCaps = make([]float64, len(e.jobs)) //alloccheck:ok state slab grows once per larger mix; steady state reuses it
+	}
+	m.sCaps = m.sCaps[:len(e.jobs)]
+	if cap(m.state) < 5*total {
+		m.state = make([]float64, 5*total) //alloccheck:ok state slab grows once per larger mix; steady state reuses it
+	}
+	m.state = m.state[:5*total]
+	if cap(m.kinds) < total {
+		m.kinds = make([]topology.ResourceKind, total) //alloccheck:ok state slab grows once per larger mix; steady state reuses it
+	}
+	m.kinds = m.kinds[:total]
+
+	b := 0
+	for idx, j := range e.jobs {
+		m.off[idx] = b
+		n := len(j.place)
+		s := m.state[5*b:]
+		copy(s[:n], j.f)
+		copy(s[n:2*n], j.sRes)
+		copy(s[2*n:3*n], j.sTot)
+		copy(s[3*n:4*n], j.commPen)
+		copy(s[4*n:5*n], j.lbPen)
+		copy(m.kinds[b:b+n], j.bottleneck)
+		m.sCaps[idx] = j.sCap
+		b += n
+	}
+	m.off[len(e.jobs)] = b
+	m.sig, m.curSig = m.curSig, m.sig
+	m.nJobs = len(e.jobs)
+	m.iters, m.converged = iters, converged
+	m.have = true
+}

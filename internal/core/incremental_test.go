@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pandia/internal/machine"
+	"pandia/internal/placement"
+)
+
+// churn drives a deterministic randomized job-churn sequence over disjoint
+// slot regions of the machine, so placements never overlap. Each of the four
+// slots owns a fixed quarter of the context space and is either empty or
+// holds one job placed inside its region.
+type churn struct {
+	md    *machine.Description
+	slots [4]placement.Placement // nil = empty
+	ws    [4]*Workload
+	x     uint32
+}
+
+func newChurnState(seed uint32) *churn {
+	c := &churn{md: quickMachine(), x: seed*2654435761 + 1}
+	for i := range c.ws {
+		b := uint8(37*i + 11)
+		c.ws[i] = quickWorkload(b, b+40, b+90, b+140, b+190, b+230, b+17)
+		c.ws[i].Name = "churn-" + string(rune('a'+i))
+	}
+	return c
+}
+
+func (c *churn) rand() uint32 {
+	c.x = c.x*1664525 + 1013904223
+	return c.x >> 8
+}
+
+// place builds a placement of n contexts inside slot i's quarter.
+func (c *churn) place(i, n int) placement.Placement {
+	total := c.md.Topo.TotalContexts()
+	width := total / len(c.slots)
+	if n > width {
+		n = width
+	}
+	var p placement.Placement
+	for k := 0; k < n; k++ {
+		p = append(p, c.md.Topo.ContextAt(i*width+k))
+	}
+	return p
+}
+
+// step applies one churn operation (join, leave, move, or repeat) and
+// reports the resulting placed-workload mix.
+func (c *churn) step() []PlacedWorkload {
+	i := int(c.rand()) % len(c.slots)
+	switch c.rand() % 4 {
+	case 0: // join (or grow if occupied)
+		c.slots[i] = c.place(i, 1+int(c.rand())%6)
+	case 1: // leave
+		c.slots[i] = nil
+	case 2: // move: re-place the same job with a different thread count
+		if c.slots[i] != nil {
+			c.slots[i] = c.place(i, 1+int(c.rand())%6)
+		}
+	case 3: // repeat: unchanged mix, exercises exact-state reuse
+	}
+	return c.placed()
+}
+
+func (c *churn) placed() []PlacedWorkload {
+	var out []PlacedWorkload
+	for i, p := range c.slots {
+		if p != nil {
+			out = append(out, PlacedWorkload{Workload: c.ws[i], Placement: p})
+		}
+	}
+	return out
+}
+
+// TestCoPredictorChurnBitIdentical is the randomized differential test of
+// the incremental solver: a persistent CoPredictor under default options
+// must return bit-identical predictions to a cold PredictCoSchedule at every
+// step of a randomized join/leave/move/repeat churn sequence.
+func TestCoPredictorChurnBitIdentical(t *testing.T) {
+	for _, seed := range []uint32{1, 7, 42, 1234} {
+		c := newChurnState(seed)
+		cp, err := NewCoPredictor(c.md, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 60; step++ {
+			placed := c.step()
+			if len(placed) == 0 {
+				continue
+			}
+			warm, err := cp.Predict(placed)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			cold, err := PredictCoSchedule(c.md, placed, Options{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if !reflect.DeepEqual(warm, cold) {
+				t.Fatalf("seed %d step %d: incremental prediction diverged from cold solve\nwarm: %+v\ncold: %+v",
+					seed, step, warm, cold)
+			}
+		}
+		st := cp.Stats()
+		if st.Reused == 0 {
+			t.Fatalf("seed %d: exact-state reuse never fired: %+v", seed, st)
+		}
+	}
+}
+
+// TestCoPredictorWarmStartTolerance runs the same churn under
+// Options.WarmStart and checks the warm-started fixed points agree with the
+// cold solves to solver tolerance, and that warm starts actually happen.
+func TestCoPredictorWarmStartTolerance(t *testing.T) {
+	c := newChurnState(99)
+	cp, err := NewCoPredictor(c.md, Options{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 80; step++ {
+		placed := c.step()
+		if len(placed) == 0 {
+			continue
+		}
+		warm, err := cp.Predict(placed)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cold, err := PredictCoSchedule(c.md, placed, Options{})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for j := range cold.Predictions {
+			wp, cp := warm.Predictions[j], cold.Predictions[j]
+			if relDiff(wp.Time, cp.Time) > 1e-6 || relDiff(wp.Speedup, cp.Speedup) > 1e-6 {
+				t.Fatalf("step %d job %d: warm (%.12g, %.12g) vs cold (%.12g, %.12g)",
+					step, j, wp.Time, wp.Speedup, cp.Time, cp.Speedup)
+			}
+		}
+	}
+	if st := cp.Stats(); st.WarmStarted == 0 {
+		t.Fatalf("warm start never fired: %+v", st)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+// TestCoPredictorExactReuse checks the delta-zero path: predicting the same
+// mix twice serves the second result from the saved converged state,
+// bit-identical to the first.
+func TestCoPredictorExactReuse(t *testing.T) {
+	c := newChurnState(5)
+	c.slots[0] = c.place(0, 4)
+	c.slots[2] = c.place(2, 6)
+	placed := c.placed()
+	cp, err := NewCoPredictor(c.md, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cp.Predict(placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cp.Predict(placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("exact-state reuse changed the prediction")
+	}
+	st := cp.Stats()
+	if st.Reused != 1 || st.Cold != 1 {
+		t.Fatalf("stats = %+v, want one cold solve and one reuse", st)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -132,6 +133,9 @@ type TimePrediction struct {
 	Converged  bool
 	// Degraded marks a best-effort prediction under Options.AllowDegraded.
 	Degraded bool
+	// Pruned marks a placement PredictSweepPruned skipped under the Amdahl
+	// dominance bound instead of solving; the other fields are zero.
+	Pruned bool
 }
 
 // PredictTime predicts one placement and returns only the time and speedup.
@@ -140,6 +144,12 @@ type TimePrediction struct {
 // vectors and the load map, so the steady state performs zero heap
 // allocations. When the runtime invariant checks are enabled it routes
 // through the full path so the checks see a complete prediction.
+//
+// With Options.Cache attached, the solve is memoized under the canonical
+// content hash (DESIGN.md §12): a hit returns the exact previously computed
+// value — bit-identical to the cold solve — without binding or iterating,
+// and still without allocating. The machine and workload content is hashed
+// on every call, so mutating either can never serve a stale entry.
 //
 // The zero-allocation property is proven statically by alloccheck (and
 // pinned at runtime by TestPredictTimeZeroAllocs and the bench-gate):
@@ -159,6 +169,42 @@ func (p *Predictor) PredictTime(place placement.Placement) (TimePrediction, erro
 			Degraded:   pred.Degraded,
 		}, nil
 	}
+	c := p.opt.Cache
+	if c == nil {
+		return p.predictTimeCold(place)
+	}
+	key, verify := p.cacheKey(place)
+	if tp, ok := c.lookup(key, verify); ok {
+		return tp, nil
+	}
+	tp, err := p.predictTimeCold(place)
+	if err != nil {
+		return TimePrediction{}, err
+	}
+	c.store(key, verify, tp) //alloccheck:ok the store runs only on the miss path, which already paid for a full solve
+	return tp, nil
+}
+
+// cacheKey derives the canonical cache key and verifier digest for one
+// placement: cache epoch, full machine and workload content, the options
+// fingerprint, and the placement's contexts.
+//
+//pandia:noalloc
+func (p *Predictor) cacheKey(place placement.Placement) (uint64, uint64) {
+	h := newCanonHash()
+	h.word(p.opt.Cache.epoch.Load())
+	h.machine(p.md)
+	h.workload(p.w)
+	h.options(p.opt)
+	h.placement(place)
+	return h.key, h.verify
+}
+
+// predictTimeCold is the uncached fast path: bind, iterate, read the
+// speedup.
+//
+//pandia:noalloc
+func (p *Predictor) predictTimeCold(place placement.Placement) (TimePrediction, error) {
 	p.pw[0] = PlacedWorkload{Workload: p.w, Placement: place}
 	if err := p.e.bind(p.pw[:], false); err != nil {
 		return TimePrediction{}, err
@@ -313,16 +359,216 @@ func sweepChunks(p *Predictor, places []placement.Placement, out []TimePredictio
 	return done, nil
 }
 
+// SweepStats reports a pruned sweep's work split: Evaluated placements were
+// solved (or served from the cache), Pruned placements were skipped because
+// their Amdahl dominance bound could not reach the incumbent (DESIGN.md
+// §12). In a parallel sweep the split depends on how fast the incumbent
+// rises across workers, so the counts can vary run-to-run; the sweep's
+// selected results never do.
+type SweepStats struct {
+	Evaluated, Pruned int64
+}
+
+// PruneRate is Pruned over the total placement count, 0 when empty.
+func (s SweepStats) PruneRate() float64 {
+	if total := s.Evaluated + s.Pruned; total > 0 {
+		return float64(s.Pruned) / float64(total)
+	}
+	return 0
+}
+
+// PredictSweepPruned is PredictSweep with the best-so-far dominance bound:
+// a placement whose Amdahl-only speedup bound is strictly below frac times
+// the incumbent best speedup is skipped without solving, because the model
+// guarantees Speedup <= AmdahlSpeedup (slowdowns are >= 1), so it can
+// neither become the best placement nor reach a frac-of-best target.
+// Skipped slots are returned as zero TimePredictions with Pruned set; every
+// evaluated slot is bit-identical to the full sweep's.
+//
+// The sweep first solves the placement with the highest Amdahl bound (the
+// lowest index on ties) to seed the incumbent, then sweeps the rest in
+// parallel. frac outside (0, 1] is clamped to 1 — prune only what cannot
+// beat the incumbent at all.
+func PredictSweepPruned(md *machine.Description, w *Workload, places []placement.Placement, opt Options, frac float64) ([]TimePrediction, SweepStats, error) {
+	out := make([]TimePrediction, len(places))
+	var stats SweepStats
+	if len(places) == 0 {
+		return out, stats, nil
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	if err := w.Validate(); err != nil {
+		return nil, stats, err
+	}
+
+	// Seed: the highest-bound placement is never prunable, so solving it
+	// first gives every other placement a strong incumbent to beat.
+	seed := 0
+	seedBound := w.AmdahlSpeedup(len(places[0]))
+	for i := 1; i < len(places); i++ {
+		if b := w.AmdahlSpeedup(len(places[i])); b > seedBound {
+			seed, seedBound = i, b
+		}
+	}
+	p, err := NewPredictor(md, w, opt)
+	if err != nil {
+		return nil, stats, err
+	}
+	tp, err := p.PredictTime(places[seed])
+	if err != nil {
+		return nil, stats, err
+	}
+	out[seed] = tp
+	stats.Evaluated++
+	metSweepPreds.Inc()
+	var best atomic.Uint64
+	best.Store(math.Float64bits(tp.Speedup))
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		eval     atomic.Int64
+		pruned   atomic.Int64
+	)
+	workers := SweepWorkers(len(places))
+	if workers <= 1 {
+		done, skipped, err := sweepChunksPruned(p, places, out, seed, frac, &best, &next, &stop)
+		stats.Evaluated += done
+		stats.Pruned += skipped
+		metSweepPreds.Add(done)
+		metSweepPruned.Add(skipped)
+		metSweepPerWkr.Observe(float64(done + 1))
+		return out, stats, err
+	}
+
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			wp := p
+			if !first {
+				var err error
+				wp, err = NewPredictor(md, w, opt)
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			done, skipped, err := sweepChunksPruned(wp, places, out, seed, frac, &best, &next, &stop)
+			eval.Add(done)
+			pruned.Add(skipped)
+			metSweepPreds.Add(done)
+			metSweepPruned.Add(skipped)
+			metSweepPerWkr.Observe(float64(done))
+			if err != nil {
+				fail(err)
+			}
+		}(wk == 0)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	stats.Evaluated += eval.Load()
+	stats.Pruned += pruned.Load()
+	return out, stats, nil
+}
+
+// sweepChunksPruned is one pruned-sweep worker's claim loop: each claimed
+// placement is either skipped under the dominance bound (Amdahl bound below
+// frac of the incumbent) or predicted on the fast path, raising the
+// incumbent. The seed index was solved before the workers started and is
+// skipped here.
+//
+//pandia:noalloc
+func sweepChunksPruned(p *Predictor, places []placement.Placement, out []TimePrediction, seed int, frac float64, best *atomic.Uint64, next *atomic.Int64, stop *atomic.Bool) (done, pruned int64, err error) {
+	for !stop.Load() {
+		lo := int(next.Add(sweepChunk)) - sweepChunk
+		if lo >= len(places) {
+			break
+		}
+		metSweepChunks.Inc()
+		hi := lo + sweepChunk
+		if hi > len(places) {
+			hi = len(places)
+		}
+		for i := lo; i < hi; i++ {
+			if i == seed {
+				continue
+			}
+			bound := p.w.AmdahlSpeedup(len(places[i]))
+			if bound < frac*math.Float64frombits(best.Load()) {
+				out[i] = TimePrediction{Pruned: true}
+				pruned++
+				continue
+			}
+			tp, err := p.PredictTime(places[i])
+			if err != nil {
+				return done, pruned, err
+			}
+			out[i] = tp
+			done++
+			// Monotone max over positive float bits (IEEE ordering matches
+			// unsigned ordering for non-negative values).
+			bits := math.Float64bits(tp.Speedup)
+			for {
+				cur := best.Load()
+				if bits <= cur || best.CompareAndSwap(cur, bits) {
+					break
+				}
+			}
+		}
+	}
+	return done, pruned, nil
+}
+
 // CoPredictor is the reusable joint-prediction pipeline: one engine's
 // scratch re-bound to successive co-schedules of the same machine. The
 // scheduler uses one per Scheduler instance, under its lock, to evaluate
 // candidate placements without rebuilding the engine each time.
+//
+// A CoPredictor keeps its previous converged state (DESIGN.md §12): when a
+// Predict call repeats the previous mix exactly, the converged per-thread
+// state is restored from the slab and the fixed-point loop is skipped
+// entirely — bit-identical to re-solving, since the restored state *is* the
+// state the solve would reach. With Options.WarmStart, a mix differing by
+// one job joining/leaving/moving additionally seeds the iteration from the
+// previous converged utilisations (tolerance-identical, not bit-identical;
+// see Options.WarmStart). Any larger delta falls back to the exact cold
+// solve.
 //
 // A CoPredictor is not safe for concurrent use.
 type CoPredictor struct {
 	md  *machine.Description
 	e   *engine
 	opt Options
+
+	memo  coMemo
+	stats CoPredictorStats
+}
+
+// CoPredictorStats counts how successive Predict calls were solved.
+type CoPredictorStats struct {
+	// Reused counts identical-mix calls served bit-identically from the
+	// saved converged state without iterating.
+	Reused int64
+	// WarmStarted counts one-job-delta calls that seeded the iteration
+	// from the previous converged state (Options.WarmStart only).
+	WarmStarted int64
+	// Cold counts full solves from the Amdahl initialisation.
+	Cold int64
 }
 
 // NewCoPredictor validates the machine once and allocates the joint engine
@@ -335,12 +581,51 @@ func NewCoPredictor(md *machine.Description, opt Options) (*CoPredictor, error) 
 	return &CoPredictor{md: md, e: e, opt: opt}, nil
 }
 
+// Options returns the options every Predict call of this CoPredictor uses.
+func (cp *CoPredictor) Options() Options { return cp.opt }
+
+// Stats returns how this CoPredictor's calls were solved so far.
+func (cp *CoPredictor) Stats() CoPredictorStats { return cp.stats }
+
 // Predict jointly predicts the placed workloads. The result is identical to
 // core.PredictCoSchedule(md, placed, opt) — the package-level function is
-// implemented on top of this method.
+// implemented on top of this method — except that a WarmStart-seeded solve
+// agrees only to within the convergence tolerance (see Options.WarmStart).
 func (cp *CoPredictor) Predict(placed []PlacedWorkload) (*CoPrediction, error) {
+	match := cp.memo.match(cp.md, placed)
 	if err := cp.e.bind(placed, true); err != nil {
+		cp.memo.invalidate()
 		return nil, err
 	}
-	return coPrediction(cp.md, cp.e, cp.opt)
+	if invariantChecks.Load() {
+		// The checks want to observe every iteration; solve cold and skip
+		// the memo so no state is reused around them.
+		cp.memo.invalidate()
+		cp.stats.Cold++
+		return coPrediction(cp.md, cp.e, cp.opt)
+	}
+	switch {
+	case match.exact:
+		cp.memo.restore(cp.e)
+		cp.stats.Reused++
+		metWarmStarts.Inc()
+		out, err := assembleCoPrediction(cp.md, cp.e, cp.memo.iters, cp.memo.converged)
+		if err != nil {
+			cp.memo.invalidate()
+		}
+		return out, err
+	case cp.opt.WarmStart && match.warm():
+		cp.memo.seed(cp.e, match, cp.opt)
+		cp.stats.WarmStarted++
+		metWarmStarts.Inc()
+	default:
+		cp.stats.Cold++
+	}
+	out, err := coPrediction(cp.md, cp.e, cp.opt)
+	if err != nil {
+		cp.memo.invalidate()
+		return nil, err
+	}
+	cp.memo.save(cp.e, out.Iterations, out.Converged)
+	return out, nil
 }

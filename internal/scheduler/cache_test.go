@@ -1,0 +1,137 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pandia/internal/analysis/leaktest"
+	"pandia/internal/placement"
+)
+
+// driveScheduler runs the same submit / degrade / rebalance / drain
+// sequence on a scheduler and returns the JSON-serialised rebalance and
+// drain reports plus the final assignment placements.
+func driveScheduler(t *testing.T, s *Scheduler) (rebalance, drain []byte, placements []placement.Placement) {
+	t.Helper()
+	a1, err := s.Submit(func() Job { j := computeJob("c1"); j.Threads = 8; return j }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade c1 by hand into a packed two-per-core shape while the machine
+	// is otherwise empty, so the advisor has a real move to find.
+	var packed placement.Placement
+	for core := 0; core < 4; core++ {
+		for slot := 0; slot < 2; slot++ {
+			packed = append(packed, pandiaCtx(0, core, slot))
+		}
+	}
+	if err := s.ApplyMove(Move{JobID: "c1", From: a1.Placement, To: packed}); err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range []Job{
+		func() Job { j := memoryJob("m1"); j.Threads = 6; return j }(),
+		func() Job { j := computeJob("c2"); j.Threads = 4; return j }(),
+	} {
+		if _, err := s.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := s.Rebalance(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebalance, err = json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drep, err := s.DrainSocket(0, DrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain, err = json.Marshal(drep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, a := range s.Assignments() {
+		placements = append(placements, a.Placement)
+	}
+	return rebalance, drain, placements
+}
+
+// TestPredictionCacheDecisionInvariant runs an identical submit → degrade →
+// rebalance → drain sequence on a cached and an uncached scheduler and
+// requires byte-for-byte identical reports and identical final placements:
+// the shared prediction cache and the dominance pruning are pure
+// accelerations, never decision changes.
+func TestPredictionCacheDecisionInvariant(t *testing.T) {
+	defer leaktest.Check(t)()
+	md := testMD(t)
+	cached, err := New(md, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := New(testMD(t), Config{DisablePredictionCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cr, cd, cp := driveScheduler(t, cached)
+	ur, ud, up := driveScheduler(t, uncached)
+
+	if !bytes.Equal(cr, ur) {
+		t.Fatalf("rebalance reports differ:\ncached:   %s\nuncached: %s", cr, ur)
+	}
+	if !bytes.Equal(cd, ud) {
+		t.Fatalf("drain reports differ:\ncached:   %s\nuncached: %s", cd, ud)
+	}
+	if len(cp) != len(up) {
+		t.Fatalf("assignment counts differ: %d vs %d", len(cp), len(up))
+	}
+	for i := range cp {
+		if !samePlacement(cp[i], up[i]) {
+			t.Fatalf("assignment %d placement differs: %v vs %v", i, cp[i], up[i])
+		}
+	}
+
+	if st := cached.PredictionCacheStats(); st.Hits == 0 {
+		t.Fatalf("cached scheduler never hit its cache: %+v", st)
+	}
+	if st := uncached.PredictionCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("uncached scheduler touched a cache: %+v", st)
+	}
+}
+
+// TestInvalidatePredictions checks the scheduler's bulk invalidation hook
+// drops the cache without changing subsequent decisions.
+func TestInvalidatePredictions(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(func() Job { j := computeJob("c1"); j.Threads = 4; return j }()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InvalidatePredictions()
+	misses := s.PredictionCacheStats().Misses
+	after, err := s.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PredictionCacheStats().Misses; got != misses+1 {
+		t.Fatalf("post-invalidate Predict was not a miss: %d -> %d", misses, got)
+	}
+	bj, _ := json.Marshal(before)
+	aj, _ := json.Marshal(after)
+	if !bytes.Equal(bj, aj) {
+		t.Fatal("prediction changed across InvalidatePredictions")
+	}
+}

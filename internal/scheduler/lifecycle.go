@@ -457,6 +457,16 @@ func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Plac
 		return nil
 	}
 
+	// Every candidate keeps the other jobs' placements and the moved job's
+	// thread count fixed, so all candidates share one Amdahl upper bound on
+	// the aggregate score. Once a candidate reaches it, the rest cannot
+	// strictly beat it and are skipped (ties keep the first, exactly as the
+	// strict > below would).
+	idealBound := 0.0
+	for _, pw := range jobs {
+		idealBound += pw.Workload.AmdahlSpeedup(len(pw.Placement))
+	}
+
 	bestScore := math.Inf(-1)
 	var best placement.Placement
 	seen := make(map[string]bool)
@@ -476,8 +486,12 @@ func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Plac
 			continue
 		}
 		seen[cand.String()] = true
+		if bestScore >= idealBound {
+			metCandidatesPruned.Inc()
+			continue
+		}
 		jobs[idx] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
-		co, err := s.co.Predict(jobs)
+		co, err := s.predictMixLocked(jobs)
 		if err != nil {
 			continue
 		}

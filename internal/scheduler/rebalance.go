@@ -79,7 +79,7 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 		a := s.running[id]
 		baseJobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement}
 	}
-	baseCo, err := s.co.Predict(baseJobs)
+	baseCo, err := s.predictMixLocked(baseJobs)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 			}
 			jobs := append([]core.PlacedWorkload(nil), baseJobs...)
 			jobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
-			co, err := s.co.Predict(jobs)
+			co, err := s.predictMixLocked(jobs)
 			if err != nil {
 				return nil, err
 			}

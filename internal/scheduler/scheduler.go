@@ -40,6 +40,9 @@ var (
 	metRebalanceRuns    = obs.Default().Counter("scheduler.rebalance.runs")
 	metRebalanceMoves   = obs.Default().Counter("scheduler.rebalance.moves_advised")
 	metRebalanceApplied = obs.Default().Counter("scheduler.rebalance.moves_applied")
+	// metCandidatesPruned counts candidate placements skipped under the
+	// Amdahl dominance bound (DESIGN.md §12) instead of jointly predicted.
+	metCandidatesPruned = obs.Default().Counter("scheduler.candidates.pruned")
 )
 
 // Job is a unit of admission: a profiled workload wanting threads.
@@ -105,6 +108,13 @@ type Config struct {
 	// (faults.MachineInjector.PlacementCheck), as would an OS-level
 	// pinning dry-run.
 	PlacementCheck func(placement.Placement) error
+	// DisablePredictionCache turns off the shared joint-prediction cache
+	// that Submit, Predict, Rebalance, and the drain migration search route
+	// through. Cache hits return the exact previously computed prediction
+	// (the key is a canonical content hash — DESIGN.md §12), so disabling
+	// the cache changes no decision; the flag exists for differential tests
+	// and measurement.
+	DisablePredictionCache bool
 }
 
 // Scheduler places jobs on one machine. It is safe for concurrent use.
@@ -131,6 +141,12 @@ type Scheduler struct {
 	// mutable engine scratch, so it is only used while mu is held.
 	//pandia:guardedby(mu)
 	co *core.CoPredictor
+	// coCache memoizes joint predictions across Submit, Predict, Rebalance,
+	// and drain candidate scoring; nil when Config.DisablePredictionCache.
+	// The cache itself is concurrency-safe, but it is only touched under mu
+	// alongside co.
+	//pandia:guardedby(mu)
+	coCache *core.CoCache
 }
 
 // New builds a scheduler for the described machine.
@@ -151,6 +167,9 @@ func New(md *machine.Description, cfg Config) (*Scheduler, error) {
 		occupied: make(map[topology.Context]string),
 		health:   make(map[topology.Context]Health),
 		co:       co,
+	}
+	if !cfg.DisablePredictionCache {
+		s.coCache = core.NewCoCache(0)
 	}
 	if cfg.AdmissionRate > 0 {
 		// The bucket starts full so a fresh scheduler accepts a burst.
@@ -282,6 +301,15 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 	// byte-for-byte, so iterating the running map directly would leak map
 	// order into the predictions.
 	base := s.jobsLocked()
+	// baseBound is the running mix's summed Amdahl speedups: with the new
+	// job's own Amdahl bound added it upper-bounds any candidate's aggregate
+	// throughput (Speedup <= AmdahlSpeedup per job, pinned by the model
+	// invariants), which lets clearly dominated candidates skip the joint
+	// solve below.
+	baseBound := 0.0
+	for _, pw := range base {
+		baseBound += pw.Workload.AmdahlSpeedup(len(pw.Placement))
+	}
 
 	bestScore := -1.0
 	var best *Assignment
@@ -298,9 +326,18 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 			continue
 		}
 		seen[key] = true
+		// Dominance pruning: a candidate whose Amdahl upper bound cannot
+		// strictly beat both incumbents can change neither best nor bestAny
+		// (both require score > incumbent), so the solve is skipped. Both
+		// incumbents start at -1, so nothing prunes before one candidate has
+		// been scored — rejection reasons are unaffected.
+		if bound := baseBound + job.Workload.AmdahlSpeedup(len(cand.place)); bound <= bestScore && bound <= bestAnyScore {
+			metCandidatesPruned.Inc()
+			continue
+		}
 		jobs := append(append([]core.PlacedWorkload(nil), base...),
 			core.PlacedWorkload{Workload: job.Workload, Placement: cand.place})
-		co, err := s.co.Predict(jobs)
+		co, err := s.predictMixLocked(jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -438,7 +475,50 @@ func (s *Scheduler) Predict() (*core.CoPrediction, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("scheduler: nothing running")
 	}
-	return s.co.Predict(jobs)
+	return s.predictMixLocked(jobs)
+}
+
+// predictMixLocked jointly predicts one mix through the shared prediction
+// cache: a canonical-hash hit returns the exact CoPrediction an earlier
+// solve produced (callers treat it as read-only), a miss solves on the
+// pooled CoPredictor and stores the result. The caller must hold mu.
+func (s *Scheduler) predictMixLocked(jobs []core.PlacedWorkload) (*core.CoPrediction, error) {
+	if s.coCache == nil {
+		return s.co.Predict(jobs)
+	}
+	key, verify := s.coCache.Key(s.md, jobs, s.co.Options())
+	if co, ok := s.coCache.Lookup(key, verify); ok {
+		return co, nil
+	}
+	co, err := s.co.Predict(jobs)
+	if err != nil {
+		return nil, err
+	}
+	s.coCache.Store(key, verify, co)
+	return co, nil
+}
+
+// InvalidatePredictions drops every cached joint prediction (the canonical
+// keys already stop matching when the machine description or a workload is
+// mutated in place; this is the O(1) bulk epoch bump for callers that want
+// the memory back too).
+func (s *Scheduler) InvalidatePredictions() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coCache != nil {
+		s.coCache.Invalidate()
+	}
+}
+
+// PredictionCacheStats reports the shared joint-prediction cache's lifetime
+// traffic (zero when the cache is disabled).
+func (s *Scheduler) PredictionCacheStats() core.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coCache == nil {
+		return core.CacheStats{}
+	}
+	return s.coCache.Stats()
 }
 
 // jobsLocked copies the running mix in deterministic job-ID order. The

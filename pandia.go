@@ -75,6 +75,13 @@ type (
 	// TimePrediction is the fast path's value-typed result: time and
 	// speedup without the per-thread detail vectors.
 	TimePrediction = core.TimePrediction
+	// PredictionCache memoizes fast-path predictions under a canonical
+	// content hash; hits are bit-identical to cold solves (DESIGN.md §12).
+	PredictionCache = core.PredictionCache
+	// CacheStats is a prediction cache's hit/miss/eviction traffic.
+	CacheStats = core.CacheStats
+	// SweepStats is a pruned sweep's evaluated/pruned split.
+	SweepStats = core.SweepStats
 )
 
 // Models lists the available simulated machines: the paper's evaluation
@@ -104,6 +111,10 @@ func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name)
 type System struct {
 	tb *simhw.Testbed
 	md *machine.Description
+	// cache memoizes fast-path predictions across Recommend calls (and any
+	// sweep the caller routes through it). Keys hash the full machine and
+	// workload content, so hits are always bit-identical to cold solves.
+	cache *core.PredictionCache
 }
 
 // NewSystem builds a system for one of the preset machine models
@@ -138,8 +149,17 @@ func NewSystemFromTruth(truth simhw.MachineTruth) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{tb: tb, md: md}, nil
+	return &System{tb: tb, md: md, cache: core.NewPredictionCache(0)}, nil
 }
+
+// PredictionCacheStats reports the system prediction cache's lifetime
+// traffic.
+func (s *System) PredictionCacheStats() CacheStats { return s.cache.Stats() }
+
+// InvalidatePredictions drops every cached prediction. It is never needed
+// for correctness — the canonical keys stop matching as soon as the machine
+// description or a workload is mutated — but reclaims the memory in bulk.
+func (s *System) InvalidatePredictions() { s.cache.Invalidate() }
 
 // Machine returns the system's topology.
 func (s *System) Machine() Machine { return s.tb.Machine() }
@@ -231,6 +251,10 @@ type Recommendation struct {
 	MinimalPrediction *Prediction
 	// TargetFraction echoes the requested fraction.
 	TargetFraction float64
+	// Sweep reports how much of the placement space the dominance bound let
+	// the search skip (DESIGN.md §12). Pruning never changes the selected
+	// shapes: a pruned placement's speedup is provably below the target.
+	Sweep SweepStats
 }
 
 // Recommend searches the canonical placement space (sampled to at most
@@ -247,19 +271,22 @@ func (s *System) Recommend(w *WorkloadDescription, targetFraction float64) (*Rec
 	shapes := s.Shapes(4000)
 	topo := s.tb.Machine()
 
-	// Sweep on the fast path (speedups only), then run the full-detail
+	// Sweep on the fast path (speedups only) through the system prediction
+	// cache, pruning placements whose Amdahl bound cannot reach
+	// targetFraction of the incumbent best, then run the full-detail
 	// prediction just for the two winning shapes. PredictTime's Speedup is
-	// bit-identical to Predict's, so the selection is unchanged.
+	// bit-identical to Predict's and pruned placements provably miss both
+	// the argmax and the target cut, so the selection is unchanged.
 	places := make([]Placement, len(shapes))
 	for i, shape := range shapes {
 		places[i] = shape.Expand(topo)
 	}
-	times, err := core.PredictSweep(s.md, w, places, core.Options{})
+	times, sweep, err := core.PredictSweepPruned(s.md, w, places, core.Options{Cache: s.cache}, targetFraction)
 	if err != nil {
 		return nil, err
 	}
 
-	rec := &Recommendation{TargetFraction: targetFraction}
+	rec := &Recommendation{TargetFraction: targetFraction, Sweep: sweep}
 	best := math.Inf(-1)
 	bestIdx := -1
 	for i := range shapes {
