@@ -16,7 +16,7 @@ GO ?= go
 # DESIGN.md §12.
 BENCH_CORE = BenchmarkFig10Curves|BenchmarkPredictOnce$$|BenchmarkPredictorReuse|BenchmarkPredictSweep|BenchmarkTestbedRun|BenchmarkEnumeratePlacements|BenchmarkPredictTimeWarm$$|BenchmarkCacheHit$$|BenchmarkSweepPruned$$
 
-.PHONY: check test vet pandia-vet alloccheck lockcheck fuzz fuzz-smoke scenario-smoke bench bench-smoke bench-gate build
+.PHONY: check test vet pandia-vet alloccheck lockcheck fuzz fuzz-smoke scenario-smoke journal-smoke bench bench-smoke bench-gate build
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,7 @@ check: build
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-gate
 	$(MAKE) scenario-smoke
+	$(MAKE) journal-smoke
 
 # fuzz-smoke is the gate-sized fuzzing pass: 5 seconds per target, enough
 # to catch parser/expander regressions on the corpus plus easy mutations.
@@ -113,4 +114,17 @@ scenario-smoke:
 	  cmp /tmp/scenario-rec1.json /tmp/scenario-rec2.json \
 	    || { echo "scenario-smoke: $$f replay not byte-identical" >&2; exit 1; }; \
 	  echo "scenario-smoke: $$f ok"; \
+	done
+
+# journal-smoke is the flight-recorder determinism gate: every bundled
+# scenario is replayed twice with -journal and the decision-journal JSONL
+# must be byte-identical across replays (DESIGN.md §13).
+journal-smoke:
+	$(GO) build -o /tmp/pandia-journal-smoke ./cmd/pandia
+	@set -e; for f in scenarios/*.json; do \
+	  /tmp/pandia-journal-smoke replay -q -o /dev/null -journal /tmp/journal-smoke1.jsonl $$f; \
+	  /tmp/pandia-journal-smoke replay -q -o /dev/null -journal /tmp/journal-smoke2.jsonl $$f; \
+	  cmp /tmp/journal-smoke1.jsonl /tmp/journal-smoke2.jsonl \
+	    || { echo "journal-smoke: $$f journal not byte-identical" >&2; exit 1; }; \
+	  echo "journal-smoke: $$f ok"; \
 	done

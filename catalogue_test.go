@@ -1,0 +1,81 @@
+package pandia
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"pandia/internal/obs"
+
+	// Blank imports pull in every package that registers metrics on
+	// obs.Default() at init, so the registry snapshot below is complete.
+	// core and faults are already in the root package's dependency graph;
+	// the scheduler is not.
+	_ "pandia/internal/core"
+	_ "pandia/internal/faults"
+	_ "pandia/internal/scheduler"
+)
+
+// catalogueRow matches one row of the DESIGN.md §9 metric catalogue:
+// | `name` | type | meaning |
+var catalogueRow = regexp.MustCompile("^\\| `([a-z0-9_.]+)` \\| (counter|gauge|histogram) \\|")
+
+// TestMetricCatalogueMatchesRegistry keeps the DESIGN.md §9 catalogue and
+// the live registry in lock-step: every metric registered at init must be
+// catalogued with its correct type, and every catalogued metric must be
+// registered. A failure means someone added, removed, or retyped a metric
+// without updating the table (or vice versa).
+func TestMetricCatalogueMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalogued := make(map[string]string)
+	row := catalogueRow // compiled once; FindSubmatch per line
+	start := 0
+	for start < len(data) {
+		end := start
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		if m := row.FindSubmatch(data[start:end]); m != nil {
+			name, typ := string(m[1]), string(m[2])
+			if prev, dup := catalogued[name]; dup {
+				t.Errorf("catalogue lists %s twice (%s and %s)", name, prev, typ)
+			}
+			catalogued[name] = typ
+		}
+		start = end + 1
+	}
+	if len(catalogued) < 30 {
+		t.Fatalf("parsed only %d catalogue rows from DESIGN.md; the table format may have changed", len(catalogued))
+	}
+
+	s := obs.Default().Snapshot()
+	registered := make(map[string]string)
+	for _, c := range s.Counters {
+		registered[c.Name] = "counter"
+	}
+	for _, g := range s.Gauges {
+		registered[g.Name] = "gauge"
+	}
+	for _, h := range s.Histograms {
+		registered[h.Name] = "histogram"
+	}
+
+	for name, typ := range registered {
+		want, ok := catalogued[name]
+		if !ok {
+			t.Errorf("metric %s (%s) is registered but missing from the DESIGN.md §9 catalogue", name, typ)
+			continue
+		}
+		if want != typ {
+			t.Errorf("metric %s is a %s but catalogued as a %s", name, typ, want)
+		}
+	}
+	for name, typ := range catalogued {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("catalogue lists %s (%s) but no package registers it", name, typ)
+		}
+	}
+}

@@ -142,8 +142,9 @@ func run() error {
 	}
 	// Snapshot the process-wide metrics last so the report carries the
 	// quality totals (faults.measure.retries/outliers, core.predict.*) of
-	// everything that ran, whether or not any CSV was requested.
-	report.Metrics = obs.Default().Snapshot()
+	// everything that ran, whether or not any CSV was requested — plus the
+	// run's own counter deltas since the report was allocated.
+	report.FinishMetrics()
 	reportPath := filepath.Join(*outDir, "report.json")
 	if err := report.Save(reportPath); err != nil {
 		return err

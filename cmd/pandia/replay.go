@@ -1,19 +1,24 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"pandia/internal/obs"
 	"pandia/internal/scenario"
 )
 
 // cmdReplay replays one scenario file and writes its incident record. The
 // record bytes are deterministic: replaying the same file twice produces
-// identical output, which `make scenario-smoke` diffs as a CI gate.
+// identical output, which `make scenario-smoke` diffs as a CI gate; the
+// journal JSONL written by -journal is held to the same standard by
+// `make journal-smoke`.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	out := fs.String("o", "", "write the incident record to this file (default stdout)")
+	journalOut := fs.String("journal", "", "write the scheduler's decision journal to this file as JSONL")
 	quiet := fs.Bool("q", false, "suppress the human-readable summary on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,6 +44,15 @@ func cmdReplay(args []string) error {
 		}
 	} else {
 		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	}
+	if *journalOut != "" {
+		var buf bytes.Buffer
+		if err := obs.WriteJournalJSONL(&buf, res.Record.Journal); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*journalOut, buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 	}

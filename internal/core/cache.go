@@ -110,8 +110,10 @@ func (h *canonHash) machine(md *machine.Description) {
 }
 
 // options folds in every Options field that changes a prediction's value.
-// Tracer and Cache are deliberately excluded: neither affects the computed
-// numbers, only how (and how fast) they are produced.
+// Tracer, Cache, and SpanID are deliberately excluded: none affects the
+// computed numbers, only how (and how fast) they are produced and how the
+// trace events are labelled — folding SpanID in would fragment the cache
+// per scheduler decision and destroy the hit rate.
 func (h *canonHash) options(o Options) {
 	h.int(o.MaxIterations)
 	h.int(o.DampenAfter)

@@ -432,7 +432,7 @@ func (e *engine) iterate(opt Options) (int, bool) {
 	tracing := tr != nil && tr.Enabled()
 	if tracing {
 		for jid, j := range e.jobs {
-			tr.Emit(obs.Event{Kind: obs.EvPredictStart, Job: int32(jid), Arg: int32(len(j.place))})
+			tr.Emit(obs.Event{Kind: obs.EvPredictStart, Job: int32(jid), Arg: int32(len(j.place)), Span: opt.SpanID})
 		}
 	}
 	iters := 0
@@ -562,7 +562,7 @@ func (e *engine) iterate(opt Options) (int, bool) {
 			e.invErr = e.checkIteration(iter) //alloccheck:ok opt-in invariant checks trade allocations for diagnosis
 		}
 		if tracing {
-			e.emitIteration(tr, iters, maxDelta)
+			e.emitIteration(tr, opt.SpanID, iters, maxDelta)
 		}
 		if maxDelta < tolerance {
 			converged = true
@@ -575,7 +575,7 @@ func (e *engine) iterate(opt Options) (int, bool) {
 			conv = 1
 		}
 		for jid := range e.jobs {
-			tr.Emit(obs.Event{Kind: obs.EvPredictEnd, Job: int32(jid), Iter: int32(iters), Arg: conv})
+			tr.Emit(obs.Event{Kind: obs.EvPredictEnd, Job: int32(jid), Iter: int32(iters), Arg: conv, Span: opt.SpanID})
 		}
 	}
 	return iters, converged

@@ -113,8 +113,9 @@ func (e *engine) traceResIndex(id topology.ResourceID) int32 {
 
 // emitIteration records one refinement round: the shared residual, load
 // summary, and dominant resource, plus each job's worst per-thread slowdown,
-// as one event per job (Chrome trace rows are per job).
-func (e *engine) emitIteration(tr obs.Tracer, iter int, residual float64) {
+// as one event per job (Chrome trace rows are per job). span is the
+// requesting scheduler decision's id (Options.SpanID), 0 outside one.
+func (e *engine) emitIteration(tr obs.Tracer, span int64, iter int, residual float64) {
 	var worst [obs.MaxLoadKinds]float64
 	id, _ := e.loadSummary(&worst)
 	for jid, j := range e.jobs {
@@ -130,6 +131,7 @@ func (e *engine) emitIteration(tr obs.Tracer, iter int, residual float64) {
 			Iter:     int32(iter),
 			Res:      int32(id.Kind),
 			ResIndex: e.traceResIndex(id),
+			Span:     span,
 			Residual: residual,
 			Factor:   factor,
 			Loads:    worst,

@@ -28,6 +28,14 @@ type Options struct {
 	// zero-allocation fast path is pinned with one wired in.
 	Tracer obs.Tracer
 
+	// SpanID, when nonzero, is stamped into every trace event the solver
+	// emits (Event.Span), linking the solve's iterations to the scheduler
+	// decision that requested it — one Perfetto timeline shows the
+	// operation span and its solver iterations causally joined. Like
+	// Tracer it changes no computed number and is excluded from the
+	// canonical cache hash.
+	SpanID int64
+
 	// AllowDegraded lets Predict return a best-effort result instead of an
 	// error when the inputs fail validation but are repairable (missing or
 	// corrupted capacities and parameters are substituted pessimistically),

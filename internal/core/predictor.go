@@ -584,6 +584,13 @@ func NewCoPredictor(md *machine.Description, opt Options) (*CoPredictor, error) 
 // Options returns the options every Predict call of this CoPredictor uses.
 func (cp *CoPredictor) Options() Options { return cp.opt }
 
+// SetSpan stamps subsequent Predict calls' trace events with the given
+// decision id (Options.SpanID): the scheduler sets it before each joint
+// solve so solver iterations join the operation's span in the trace
+// stream. It changes no prediction and no cache key (SpanID is excluded
+// from the canonical hash).
+func (cp *CoPredictor) SetSpan(id int64) { cp.opt.SpanID = id }
+
 // Stats returns how this CoPredictor's calls were solved so far.
 func (cp *CoPredictor) Stats() CoPredictorStats { return cp.stats }
 

@@ -34,14 +34,34 @@ type Report struct {
 	// quality totals survive into report.json even when no CSV was asked
 	// for.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// MetricDeltas isolates the counters this evaluation run itself moved:
+	// the end-of-run snapshot minus the one taken when the report was
+	// allocated (obs.Snapshot.DeltaFrom). In a long-lived process the
+	// absolute Metrics mix in earlier traffic; the deltas do not.
+	MetricDeltas map[string]int64 `json:"metricDeltas,omitempty"`
+
+	// baseline is the registry snapshot at NewReport time, diffed by
+	// FinishMetrics. Not serialised.
+	baseline *obs.Snapshot
 }
 
-// NewReport allocates an empty report.
+// NewReport allocates an empty report, snapshotting the metric registry so
+// FinishMetrics can report the run's own counter deltas.
 func NewReport() *Report {
 	return &Report{
 		Summaries: make(map[string]*Summary),
 		Sweeps:    make(map[string]*SweepSummary),
+		baseline:  obs.Default().Snapshot(),
 	}
+}
+
+// FinishMetrics captures the process-wide registry into the report: the
+// absolute snapshot in Metrics, and in MetricDeltas the counters moved
+// since NewReport. Call it after the last experiment, before Save.
+func (r *Report) FinishMetrics() {
+	s := obs.Default().Snapshot()
+	r.Metrics = s
+	r.MetricDeltas = s.DeltaFrom(r.baseline)
 }
 
 // AddSummary files an error summary under its machine (and source machine,

@@ -20,6 +20,10 @@ type TraceLabels struct {
 	// Load names slot k of the Event.Loads vector; returning "" drops the
 	// slot from the export. Nil: every slot as "loadK".
 	Load func(slot int) string
+	// Span names an operation span (decision id, producer-defined phase
+	// code) for EvSpanBegin/EvSpanEnd rendering — e.g. "submit job-a:
+	// candidate sweep". Nil: "span N" (phase 0) or "span N/P".
+	Span func(span int64, phase int32) string
 }
 
 func (l TraceLabels) jobName(job int32) string {
@@ -41,6 +45,16 @@ func (l TraceLabels) loadName(slot int) string {
 		return l.Load(slot)
 	}
 	return fmt.Sprintf("load%d", slot)
+}
+
+func (l TraceLabels) spanName(span int64, phase int32) string {
+	if l.Span != nil {
+		return l.Span(span, phase)
+	}
+	if phase == 0 {
+		return fmt.Sprintf("span %d", span)
+	}
+	return fmt.Sprintf("span %d/%d", span, phase)
 }
 
 // chromeEvent is one trace_event record. Fields marshal in declaration
@@ -70,12 +84,21 @@ func WriteChromeTrace(w io.Writer, events []Event, labels TraceLabels) error {
 	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, 2*len(events))}
 	for _, e := range events {
 		ts := e.Time * 1e6
+		// A nonzero Span links this event to the scheduler decision that
+		// caused it; events outside an operation context (Span 0) render
+		// exactly as they always did, which keeps the pinned goldens valid.
+		withSpan := func(args map[string]any) map[string]any {
+			if e.Span != 0 {
+				args["decision"] = e.Span
+			}
+			return args
+		}
 		switch e.Kind {
 		case EvPredictStart:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: "solve " + labels.jobName(e.Job),
 				Ph:   "B", Ts: ts, Pid: 0, Tid: e.Job,
-				Args: map[string]any{"threads": e.Arg},
+				Args: withSpan(map[string]any{"threads": e.Arg}),
 			})
 		case EvIteration:
 			counter := map[string]any{"residual": e.Residual, "slowdown": e.Factor}
@@ -95,14 +118,26 @@ func WriteChromeTrace(w io.Writer, events []Event, labels TraceLabels) error {
 				chromeEvent{
 					Name: fmt.Sprintf("iter %d: %s", e.Iter, labels.resourceName(e.Res, e.ResIndex)),
 					Ph:   "i", Ts: ts, Pid: 0, Tid: e.Job, S: "t",
-					Args: map[string]any{"iteration": e.Iter, "residual": e.Residual},
+					Args: withSpan(map[string]any{"iteration": e.Iter, "residual": e.Residual}),
 				},
 			)
 		case EvPredictEnd:
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: "solve " + labels.jobName(e.Job),
 				Ph:   "E", Ts: ts, Pid: 0, Tid: e.Job,
-				Args: map[string]any{"iterations": e.Iter, "converged": e.Arg != 0},
+				Args: withSpan(map[string]any{"iterations": e.Iter, "converged": e.Arg != 0}),
+			})
+		case EvSpanBegin:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: labels.spanName(e.Span, e.Arg),
+				Ph:   "B", Ts: ts, Pid: 0, Tid: e.Job,
+				Args: withSpan(map[string]any{"phase": e.Arg}),
+			})
+		case EvSpanEnd:
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: labels.spanName(e.Span, e.Arg),
+				Ph:   "E", Ts: ts, Pid: 0, Tid: e.Job,
+				Args: withSpan(map[string]any{"phase": e.Arg}),
 			})
 		}
 	}
@@ -118,6 +153,8 @@ type jsonlEvent struct {
 	Kind     string             `json:"kind"`
 	Time     float64            `json:"t"`
 	Job      int32              `json:"job"`
+	Span     int64              `json:"span,omitempty"`
+	Name     string             `json:"name,omitempty"`
 	Iter     int32              `json:"iter,omitempty"`
 	Threads  int32              `json:"threads,omitempty"`
 	Converge *bool              `json:"converged,omitempty"`
@@ -133,7 +170,7 @@ type jsonlEvent struct {
 func WriteJSONL(w io.Writer, events []Event, labels TraceLabels) error {
 	enc := json.NewEncoder(w)
 	for _, e := range events {
-		rec := jsonlEvent{Kind: e.Kind.String(), Time: e.Time, Job: e.Job}
+		rec := jsonlEvent{Kind: e.Kind.String(), Time: e.Time, Job: e.Job, Span: e.Span}
 		switch e.Kind {
 		case EvPredictStart:
 			rec.Threads = e.Arg
@@ -156,6 +193,8 @@ func WriteJSONL(w io.Writer, events []Event, labels TraceLabels) error {
 			rec.Iter = e.Iter
 			conv := e.Arg != 0
 			rec.Converge = &conv
+		case EvSpanBegin, EvSpanEnd:
+			rec.Name = labels.spanName(e.Span, e.Arg)
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

@@ -272,6 +272,16 @@ func (s *Snapshot) Counter(name string) int64 {
 	return 0
 }
 
+// Gauge returns the named gauge's value in the snapshot (0 if absent).
+func (s *Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // Histogram returns the named histogram in the snapshot (nil if absent).
 func (s *Snapshot) Histogram(name string) *HistogramValue {
 	for i := range s.Histograms {
@@ -280,6 +290,27 @@ func (s *Snapshot) Histogram(name string) *HistogramValue {
 		}
 	}
 	return nil
+}
+
+// DeltaFrom returns the counter movement between prev and s as a sorted
+// name→delta map, dropping zero deltas. Only counters participate: they are
+// monotone, so a delta is meaningful across any window; gauges are absolute
+// readings and histograms carry distributions, neither of which subtracts
+// into a stable per-window value (and both would leak warm-process state
+// into replayed incident windows). Counters absent from prev are treated as
+// having been 0. A nil prev yields every nonzero counter in s.
+func (s *Snapshot) DeltaFrom(prev *Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range s.Counters {
+		var before int64
+		if prev != nil {
+			before = prev.Counter(c.Name)
+		}
+		if d := c.Value - before; d != 0 {
+			out[c.Name] = d
+		}
+	}
+	return out
 }
 
 // Snapshot copies the registry's current values. Metric updates running

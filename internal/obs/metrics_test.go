@@ -109,6 +109,57 @@ func TestSnapshotSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestSnapshotGaugeLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("sched.load").Set(1.75)
+	r.Gauge("sched.zero").Set(0)
+	s := r.Snapshot()
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"sched.load", 1.75},
+		{"sched.zero", 0},
+		{"missing", 0}, // absent reads as 0, same as Counter lookup
+	}
+	for _, c := range cases {
+		if got := s.Gauge(c.name); got != c.want {
+			t.Errorf("Gauge(%q) = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotDeltaFrom(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	b := r.Counter("b")
+	a.Add(5)
+	prev := r.Snapshot()
+	a.Add(2)
+	b.Add(3)
+	r.Counter("fresh").Inc() // born after prev: counts from 0
+	r.Gauge("g").Set(9)      // gauges never participate
+	cur := r.Snapshot()
+
+	cases := []struct {
+		name string
+		prev *Snapshot
+		want map[string]int64
+	}{
+		{"window", prev, map[string]int64{"a": 2, "b": 3, "fresh": 1}},
+		{"nil prev yields every nonzero counter", nil, map[string]int64{"a": 7, "b": 3, "fresh": 1}},
+		{"self-delta is empty", cur, map[string]int64{}},
+	}
+	for _, c := range cases {
+		if got := cur.DeltaFrom(c.prev); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: DeltaFrom = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, ok := cur.DeltaFrom(prev)["g"]; ok {
+		t.Error("gauge leaked into DeltaFrom")
+	}
+}
+
 func TestRegistryResetKeepsHandles(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("x")

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PrometheusName maps a dotted metric name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots (and any other illegal rune)
+// become underscores, and a leading digit gains an underscore prefix. The
+// repository's dotted catalogue names ("core.cache.hits") thus expose as
+// their conventional Prometheus forms ("core_cache_hits").
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 the way Prometheus expects sample values and
+// le labels: shortest round-trip decimal, with +Inf spelled out.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as CUMULATIVE le-labelled bucket series — each bucket counts observations
+// ≤ its bound, including every smaller bucket — closed by the mandatory
+// +Inf bucket, plus the _sum and _count series. Metric names are sanitized
+// through PrometheusName. The snapshot is sorted by name, so the output is
+// deterministic and golden-testable.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	for _, c := range s.Counters {
+		name := PrometheusName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := PrometheusName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := PrometheusName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// The snapshot stores per-bucket counts; Prometheus buckets are
+		// cumulative, so accumulate while walking the ladder. The final
+		// snapshot bucket is the overflow bucket and folds into +Inf.
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the registry in Prometheus text exposition
+// format. Mount it at /metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The ResponseWriter owns delivery failures; nothing useful to do here.
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}

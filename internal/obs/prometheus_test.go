@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"core.cache.hits", "core_cache_hits"},
+		{"scheduler.journal.records", "scheduler_journal_records"},
+		{"already_legal:name", "already_legal:name"},
+		{"9lives", "_9lives"},
+		{"has-dash/slash space", "has_dash_slash_space"},
+		{"m\u00e9tric", "m_tric"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := PrometheusName(c.in); got != c.want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition for a small
+// registry: sanitized names, TYPE lines, cumulative le buckets closed by
+// +Inf, and the _sum/_count pair — the exact shape Prometheus scrapes.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.cache.hits").Add(7)
+	reg.Gauge("scheduler.load").Set(2.5)
+	h := reg.Histogram("solver.iters", []float64{1, 2, 4})
+	for _, v := range []float64{1, 3, 100, 2} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE core_cache_hits counter`,
+		`core_cache_hits 7`,
+		`# TYPE scheduler_load gauge`,
+		`scheduler_load 2.5`,
+		`# TYPE solver_iters histogram`,
+		`solver_iters_bucket{le="1"} 1`,
+		`solver_iters_bucket{le="2"} 2`,
+		`solver_iters_bucket{le="4"} 3`,
+		`solver_iters_bucket{le="+Inf"} 4`,
+		`solver_iters_sum 106`,
+		`solver_iters_count 4`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusCumulativeBuckets checks the bucket algebra in
+// isolation: per-bucket snapshot counts accumulate into le-cumulative
+// series, and the overflow bucket appears only through +Inf (= Count).
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{10, 20})
+	// 3 in (≤10), 2 in (10,20], 4 overflow.
+	for i := 0; i < 3; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(99)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`lat_bucket{le="10"} 3`,
+		`lat_bucket{le="20"} 5`,
+		`lat_bucket{le="+Inf"} 9`,
+		`lat_count 9`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Inc()
+	rr := httptest.NewRecorder()
+	reg.PrometheusHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "hits 1\n") {
+		t.Fatalf("body missing sample:\n%s", rr.Body.String())
+	}
+}

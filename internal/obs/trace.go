@@ -21,6 +21,13 @@ const (
 	// EvPredictEnd closes the solve: Iter is the total iteration count, Arg
 	// is 1 if the iteration converged and 0 otherwise.
 	EvPredictEnd
+	// EvSpanBegin opens one hierarchical operation span: Span carries the
+	// decision id linking the span to its journal record and to the solver
+	// events the operation triggered, Arg a producer-defined phase code
+	// (the scheduler's operation / candidate-sweep / cache-lookup phases).
+	EvSpanBegin
+	// EvSpanEnd closes the span opened with the same (Span, Arg).
+	EvSpanEnd
 )
 
 // String names the kind for JSONL export and error messages.
@@ -32,6 +39,10 @@ func (k EventKind) String() string {
 		return "iteration"
 	case EvPredictEnd:
 		return "predict-end"
+	case EvSpanBegin:
+		return "span-begin"
+	case EvSpanEnd:
+		return "span-end"
 	default:
 		return "unknown"
 	}
@@ -61,6 +72,12 @@ type Event struct {
 	// instance index.
 	Res      int32
 	ResIndex int32
+	// Span is the decision id tying this event to the scheduler operation
+	// that caused it (0 = no operation context). Span events carry the id
+	// they open or close; solver events are stamped from the requesting
+	// operation so one Perfetto timeline links scheduler ops to the solver
+	// iterations they triggered.
+	Span int64
 	// Time is the event timestamp, stamped by the tracer's clock.
 	//pandia:unit seconds
 	Time float64

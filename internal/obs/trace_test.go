@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -214,11 +215,133 @@ func TestWriteJSONL(t *testing.T) {
 	}
 }
 
+// spanTestEvents is a solve nested inside an operation span: the span
+// begin/end pair and the solver events all carry decision id 7.
+func spanTestEvents() []Event {
+	return []Event{
+		{Kind: EvSpanBegin, Span: 7, Arg: 2, Job: -1, Time: 0},
+		{Kind: EvPredictStart, Span: 7, Job: 0, Arg: 4, Time: 0.001},
+		{Kind: EvPredictEnd, Span: 7, Job: 0, Iter: 3, Arg: 1, Time: 0.002},
+		{Kind: EvSpanEnd, Span: 7, Arg: 2, Job: -1, Time: 0.003},
+	}
+}
+
+// TestWriteChromeTraceSpans pins the span rendering: EvSpanBegin/EvSpanEnd
+// become B/E slices named by the Span resolver, and every event inside an
+// operation context gains a "decision" arg — while span-free events keep
+// their original args (the pinned golden shape).
+func TestWriteChromeTraceSpans(t *testing.T) {
+	labels := testLabels()
+	labels.Span = func(span int64, phase int32) string {
+		return fmt.Sprintf("submit job-a: phase %d (decision %d)", phase, span)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spanTestEvents(), labels); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int32          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(trace.TraceEvents))
+	}
+	begin := trace.TraceEvents[0]
+	if begin.Ph != "B" || begin.Name != "submit job-a: phase 2 (decision 7)" {
+		t.Fatalf("span begin rendered as %+v", begin)
+	}
+	if begin.Args["phase"] != float64(2) || begin.Args["decision"] != float64(7) {
+		t.Fatalf("span begin args = %v", begin.Args)
+	}
+	if end := trace.TraceEvents[3]; end.Ph != "E" || end.Name != begin.Name {
+		t.Fatalf("span end rendered as %+v (must close the same-named slice)", end)
+	}
+	// The nested solve is linked to the decision through its args.
+	for _, i := range []int{1, 2} {
+		if got := trace.TraceEvents[i].Args["decision"]; got != float64(7) {
+			t.Fatalf("solver event %d decision arg = %v, want 7", i, got)
+		}
+	}
+	// Span-free events must not grow a decision arg.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"decision"`)) {
+		t.Fatal("span-free export contains a decision arg")
+	}
+}
+
+// TestWriteChromeTraceSpanFallbackName covers the nil Span resolver: spans
+// still render, with the numeric fallback name.
+func TestWriteChromeTraceSpanFallbackName(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{{Kind: EvSpanBegin, Span: 3, Arg: 1, Job: -1}}
+	if err := WriteChromeTrace(&buf, events, TraceLabels{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"span 3/1"`)) {
+		t.Fatalf("fallback span name missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONLSpans(t *testing.T) {
+	labels := testLabels()
+	labels.Span = func(span int64, phase int32) string {
+		return fmt.Sprintf("op %d/%d", span, phase)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, spanTestEvents(), labels); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[0]["kind"] != "span-begin" || lines[0]["name"] != "op 7/2" {
+		t.Fatalf("span begin line = %v", lines[0])
+	}
+	if lines[3]["kind"] != "span-end" || lines[3]["name"] != "op 7/2" {
+		t.Fatalf("span end line = %v", lines[3])
+	}
+	// Every line in the operation context carries the shared decision id.
+	for i, rec := range lines {
+		if rec["span"] != float64(7) {
+			t.Fatalf("line %d span = %v, want 7", i, rec["span"])
+		}
+	}
+	// Span-free events omit the field entirely.
+	buf.Reset()
+	if err := WriteJSONL(&buf, testEvents(), testLabels()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"span"`)) {
+		t.Fatal("span-free JSONL contains a span field")
+	}
+}
+
 func TestEventKindString(t *testing.T) {
 	for k, want := range map[EventKind]string{
 		EvPredictStart: "predict-start",
 		EvIteration:    "iteration",
 		EvPredictEnd:   "predict-end",
+		EvSpanBegin:    "span-begin",
+		EvSpanEnd:      "span-end",
 		EventKind(99):  "unknown",
 	} {
 		if got := k.String(); got != want {

@@ -99,6 +99,12 @@ func Run(sc *Scenario) (*Result, error) {
 		return nil, err
 	}
 	clock := obs.NewManualClock(0, 0)
+	// Every replay gets its own journal on the replay clock: decision ids,
+	// sequence numbers, and incident metric deltas all restart from the
+	// journal's creation, so the journal section of the record is
+	// byte-identical across replays despite the process-global registry.
+	journal := obs.NewJournal(journalCapacity, clock)
+	journal.SetEnabled(true)
 	cfg := scheduler.Config{
 		AdmissionThreshold: sc.Scheduler.AdmissionThreshold,
 		SlowdownSLO:        sc.Scheduler.SlowdownSLO,
@@ -106,6 +112,7 @@ func Run(sc *Scenario) (*Result, error) {
 		AdmissionBurst:     sc.Scheduler.AdmissionBurst,
 		AdmitDegraded:      sc.Scheduler.AdmitDegraded,
 		Clock:              clock,
+		Journal:            journal,
 	}
 	var mi *faults.MachineInjector
 	if sc.Faults.enabled() {
@@ -151,8 +158,15 @@ func Run(sc *Scenario) (*Result, error) {
 		return nil, err
 	}
 	e.rec.MetricDeltas = counterDeltas(before, obs.Default().Snapshot())
+	e.rec.Journal = journal.Records()
+	e.rec.Incidents = journal.Incidents()
 	return &Result{Record: e.rec, Failures: evalAssertions(sc.Assert, e.rec)}, nil
 }
+
+// journalCapacity bounds the per-replay decision journal. Large enough that
+// no bundled scenario wraps; when one does, the record's journal section
+// holds the most recent decisions (the ring semantics, not an error).
+const journalCapacity = 1024
 
 // enqueue adds one event with the next sequence number.
 func (e *engine) enqueue(at float64, ev Event, resubmit bool) {

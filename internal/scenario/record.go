@@ -34,6 +34,17 @@ type Record struct {
 	// process-global registry accumulates across runs, the incident must
 	// not.
 	MetricDeltas []MetricDelta `json:"metricDeltas,omitempty"`
+
+	// Journal is the scheduler's full decision journal for the replay, in
+	// decision order: every admission, rejection, eviction, migration,
+	// rebalance, and prediction with its candidate statistics and top-k
+	// alternatives. Byte-deterministic like everything else here — the
+	// journal runs on the replay's ManualClock and its own id sequence.
+	Journal []obs.DecisionRecord `json:"journal,omitempty"`
+	// Incidents are the journal's automatic dump-on-incident snapshots
+	// (SLO rejections, evictions, degraded admissions) with their decision
+	// windows and per-replay counter deltas.
+	Incidents []obs.IncidentDump `json:"incidents,omitempty"`
 }
 
 // EventOutcome is one executed timeline entry.

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pandia/internal/obs"
 )
 
 func validScenario() string {
@@ -176,6 +178,67 @@ func TestAdmissionStormBoundedRejections(t *testing.T) {
 	}
 	if rate != int64(c.Rejected) {
 		t.Fatalf("rate-limited delta %d != rejected %d: unexpected rejection class", rate, c.Rejected)
+	}
+}
+
+// TestSLORejectionFlightRecorder pins the dump-on-incident contract on the
+// bundled SLO scenario: the fourth memory hog's rejection produces exactly
+// one incident dump naming the rejecting policy, and the decision journal
+// carries the rejected submit with its top-k alternatives.
+func TestSLORejectionFlightRecorder(t *testing.T) {
+	sc, err := Load("../../scenarios/slo-rejection.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > 0 {
+		t.Fatalf("assertions failed: %v", res.Failures)
+	}
+
+	if got := len(res.Record.Incidents); got != 1 {
+		t.Fatalf("got %d incident dumps, want exactly 1", got)
+	}
+	inc := res.Record.Incidents[0]
+	if inc.Trigger != "slo-rejection" || inc.Job != "mem-d" {
+		t.Fatalf("incident = trigger %q job %q, want slo-rejection for mem-d", inc.Trigger, inc.Job)
+	}
+	if !strings.Contains(inc.Detail, "SLO") {
+		t.Fatalf("incident detail %q does not name the rejecting policy", inc.Detail)
+	}
+	if inc.MetricDeltas["scheduler.rejections.slo"] != 1 {
+		t.Fatalf("incident deltas = %v, want scheduler.rejections.slo: 1", inc.MetricDeltas)
+	}
+
+	var rejected *obs.DecisionRecord
+	for i := range res.Record.Journal {
+		r := &res.Record.Journal[i]
+		if r.Op == "submit" && r.Outcome == "rejected" {
+			if rejected != nil {
+				t.Fatalf("second rejected submit in journal: %+v", r)
+			}
+			rejected = r
+		}
+	}
+	if rejected == nil {
+		t.Fatal("journal has no rejected submit record")
+	}
+	if rejected.Job != "mem-d" || rejected.Reason != "slo-exceeded" {
+		t.Fatalf("rejected record = %+v", rejected)
+	}
+	if rejected.ID != inc.Decision {
+		t.Fatalf("incident attributed to decision %d, rejection is %d", inc.Decision, rejected.ID)
+	}
+	alts := rejected.Alts()
+	if len(alts) == 0 {
+		t.Fatal("rejected record carries no alternatives")
+	}
+	for _, a := range alts {
+		if a.Reject == "" {
+			t.Fatalf("alternative %+v has no reject reason on an all-rejected sweep", a)
+		}
 	}
 }
 

@@ -1,0 +1,309 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"pandia/internal/analysis/leaktest"
+	"pandia/internal/obs"
+)
+
+// flightScheduler builds a scheduler with the flight recorder fully on: an
+// enabled journal and an enabled ring tracer on one ManualClock.
+func flightScheduler(t *testing.T, cfg Config) (*Scheduler, *obs.Journal, *obs.RingTracer) {
+	t.Helper()
+	journal := obs.NewJournal(64, obs.NewManualClock(0, 0))
+	journal.SetEnabled(true)
+	tracer := obs.NewRingTracer(4096, obs.NewManualClock(0, 0.001))
+	cfg.Journal = journal
+	cfg.Tracer = tracer
+	s, err := New(testMD(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, journal, tracer
+}
+
+// findRecord returns the first journal record with the given op (nil if
+// none).
+func findRecord(recs []obs.DecisionRecord, op string) *obs.DecisionRecord {
+	for i := range recs {
+		if recs[i].Op == op {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestSubmitJournalRecordAndSpans(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, journal, tracer := flightScheduler(t, Config{})
+	job := computeJob("a")
+	job.Threads = 8
+	a, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := journal.Records()
+	if len(recs) != 1 {
+		t.Fatalf("journal has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Op != "submit" || rec.Job != "a" || rec.Outcome != "admitted" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Placement != a.Placement.String() || rec.Strategy != a.Strategy {
+		t.Fatalf("record placement/strategy %q/%q, assignment %q/%q",
+			rec.Placement, rec.Strategy, a.Placement.String(), a.Strategy)
+	}
+	if rec.Candidates <= 0 || rec.Score <= 0 {
+		t.Fatalf("record candidates=%d score=%g, want positive", rec.Candidates, rec.Score)
+	}
+	if rec.CacheMisses == 0 {
+		t.Fatalf("record cache stats = %d hits / %d misses; a cold sweep must miss", rec.CacheHits, rec.CacheMisses)
+	}
+	// The viable-but-outscored candidates appear as alternatives with no
+	// reject reason (no policy was configured).
+	for _, alt := range rec.Alts() {
+		if alt.Reject != "" {
+			t.Fatalf("policy-free submit has rejected alternative %+v", alt)
+		}
+		if alt.Placement == rec.Placement && alt.Strategy == rec.Strategy {
+			t.Fatal("chosen placement duplicated into alternatives")
+		}
+	}
+
+	// Span structure: the op span wraps the sweep span wraps cache lookups,
+	// and the solver's events carry the same decision id.
+	events := tracer.Events()
+	type key struct {
+		kind  obs.EventKind
+		phase int32
+	}
+	count := map[key]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvSpanBegin, obs.EvSpanEnd:
+			if e.Span != rec.ID {
+				t.Fatalf("span event %+v has span %d, want decision %d", e, e.Span, rec.ID)
+			}
+			count[key{e.Kind, e.Arg}]++
+		case obs.EvPredictStart:
+			if e.Span != rec.ID {
+				t.Fatalf("solver event carries span %d, want decision %d", e.Span, rec.ID)
+			}
+		}
+	}
+	if count[key{obs.EvSpanBegin, SpanPhaseOp}] != 1 || count[key{obs.EvSpanEnd, SpanPhaseOp}] != 1 {
+		t.Fatalf("op span begin/end counts = %v", count)
+	}
+	if count[key{obs.EvSpanBegin, SpanPhaseSweep}] != 1 || count[key{obs.EvSpanEnd, SpanPhaseSweep}] != 1 {
+		t.Fatalf("sweep span begin/end counts = %v", count)
+	}
+	if count[key{obs.EvSpanBegin, SpanPhaseCache}] == 0 ||
+		count[key{obs.EvSpanBegin, SpanPhaseCache}] != count[key{obs.EvSpanEnd, SpanPhaseCache}] {
+		t.Fatalf("cache span counts unbalanced: %v", count)
+	}
+
+	// TraceLabels resolves span names from the journal's records.
+	labels := TraceLabels(s.md, journal, nil)
+	if got := labels.Span(rec.ID, SpanPhaseOp); got != "submit a" {
+		t.Fatalf("op span name = %q", got)
+	}
+	if got := labels.Span(rec.ID, SpanPhaseSweep); got != "submit a: candidate sweep" {
+		t.Fatalf("sweep span name = %q", got)
+	}
+	if got := labels.Span(99, SpanPhaseCache); got != "decision 99: cache lookup" {
+		t.Fatalf("unknown-decision span name = %q", got)
+	}
+}
+
+func TestSubmitSLORejectionJournalsIncident(t *testing.T) {
+	defer leaktest.Check(t)()
+	// The TestAdmissionSLO recipe: the first 8-thread memory job fits a 10%
+	// SLO, the second pushes the joint slowdown past it.
+	s, journal, _ := flightScheduler(t, Config{SlowdownSLO: 1.1})
+	ja := memoryJob("a")
+	ja.Threads = 8
+	if _, err := s.Submit(ja); err != nil {
+		t.Fatal(err)
+	}
+	jb := memoryJob("b")
+	jb.Threads = 8
+	if _, err := s.Submit(jb); err == nil {
+		t.Fatal("second memory hog admitted under a 1.1 SLO")
+	}
+
+	recs := journal.Records()
+	if len(recs) != 2 {
+		t.Fatalf("journal has %d records, want 2", len(recs))
+	}
+	rej := recs[1]
+	if rej.Op != "submit" || rej.Job != "b" || rej.Outcome != "rejected" || rej.Reason != "slo-exceeded" {
+		t.Fatalf("rejection record = %+v", rej)
+	}
+	if !strings.Contains(rej.Cause, "SLO") {
+		t.Fatalf("rejection cause %q does not name the SLO", rej.Cause)
+	}
+	alts := rej.Alts()
+	if len(alts) == 0 {
+		t.Fatal("rejection record has no alternatives")
+	}
+	for _, alt := range alts {
+		if alt.Reject == "" || alt.Slowdown <= 1.1 {
+			t.Fatalf("rejected alternative %+v, want a reject reason and a violating slowdown", alt)
+		}
+	}
+
+	// Exactly one incident dump, attributed to the rejecting decision and
+	// naming the rejecting policy.
+	incidents := journal.Incidents()
+	if len(incidents) != 1 {
+		t.Fatalf("got %d incident dumps, want 1", len(incidents))
+	}
+	inc := incidents[0]
+	if inc.Trigger != "slo-rejection" || inc.Decision != rej.ID || inc.Job != "b" {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if !strings.Contains(inc.Detail, "SLO") {
+		t.Fatalf("incident detail %q does not name the rejecting policy", inc.Detail)
+	}
+	if findRecord(inc.Records, "submit") == nil {
+		t.Fatal("incident window is missing the journal records")
+	}
+	if inc.MetricDeltas["scheduler.rejections.slo"] != 1 {
+		t.Fatalf("incident deltas = %v, want scheduler.rejections.slo: 1", inc.MetricDeltas)
+	}
+}
+
+func TestDegradedAdmissionJournalsIncident(t *testing.T) {
+	defer leaktest.Check(t)()
+	// The TestAdmitDegraded recipe: a 1% SLO rejects every candidate of a
+	// lone memory hog; AdmitDegraded admits the best one anyway.
+	s, journal, _ := flightScheduler(t, Config{SlowdownSLO: 1.01, AdmitDegraded: true})
+	job := memoryJob("a")
+	job.Threads = 8
+	a, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded {
+		t.Fatalf("assignment %+v, want degraded", a)
+	}
+	recs := journal.Records()
+	if len(recs) != 1 || recs[0].Outcome != "admitted-degraded" || recs[0].Reason == "" {
+		t.Fatalf("records = %+v, want one admitted-degraded with reasons", recs)
+	}
+	incidents := journal.Incidents()
+	if len(incidents) != 1 || incidents[0].Trigger != "degraded-admission" || incidents[0].Job != "a" {
+		t.Fatalf("incidents = %+v, want one degraded-admission for job a", incidents)
+	}
+}
+
+func TestFailJournalsEvictionChildren(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, journal, _ := flightScheduler(t, Config{})
+	job := computeJob("a")
+	job.Threads = 4
+	a, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Fail(a.Placement[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Evicted) != 1 {
+		t.Fatalf("evicted %d jobs, want 1", len(rep.Evicted))
+	}
+
+	recs := journal.Records()
+	fail := findRecord(recs, "fail")
+	evict := findRecord(recs, "evict")
+	if fail == nil || evict == nil {
+		t.Fatalf("records = %+v, want fail + evict", recs)
+	}
+	if fail.Outcome != "applied" {
+		t.Fatalf("fail record = %+v", fail)
+	}
+	// The eviction is parented to the Fail that forced it — the cause chain.
+	if evict.Parent != fail.ID {
+		t.Fatalf("evict parent = %d, want fail decision %d", evict.Parent, fail.ID)
+	}
+	if evict.Job != "a" || evict.Outcome != "evicted" || evict.Cause == "" {
+		t.Fatalf("evict record = %+v", evict)
+	}
+	if evict.Placement != a.Placement.String() {
+		t.Fatalf("evict placement = %q, want %q", evict.Placement, a.Placement.String())
+	}
+
+	incidents := journal.Incidents()
+	if len(incidents) != 1 || incidents[0].Trigger != "eviction" || incidents[0].Job != "a" {
+		t.Fatalf("incidents = %+v, want one eviction incident for job a", incidents)
+	}
+	if incidents[0].Decision != fail.ID {
+		t.Fatalf("eviction incident attributed to decision %d, want %d", incidents[0].Decision, fail.ID)
+	}
+}
+
+func TestRebalanceAndApplyMoveJournal(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, journal, _ := flightScheduler(t, Config{})
+	for _, id := range []string{"a", "b"} {
+		job := memoryJob(id)
+		job.Threads = 4
+		if _, err := s.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Rebalance(0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := journal.Records()
+	reb := findRecord(recs, "rebalance")
+	if reb == nil {
+		t.Fatalf("records = %+v, want a rebalance record", recs)
+	}
+	if reb.Outcome != "advised" || reb.Candidates != 2 || reb.Score <= 0 {
+		t.Fatalf("rebalance record = %+v", reb)
+	}
+	if len(rep.Moves) > 0 {
+		if len(reb.Alts()) == 0 {
+			t.Fatalf("rebalance advised %d moves but journaled no alternatives", len(rep.Moves))
+		}
+		if err := s.ApplyMove(rep.Moves[0]); err != nil {
+			t.Fatal(err)
+		}
+		am := findRecord(journal.Records(), "apply-move")
+		if am == nil || am.Outcome != "applied" || am.Job != rep.Moves[0].JobID {
+			t.Fatalf("apply-move record = %+v", am)
+		}
+		if am.Placement == "" || !strings.HasPrefix(am.Cause, "from ") {
+			t.Fatalf("apply-move record lacks the move endpoints: %+v", am)
+		}
+	}
+}
+
+// TestJournalDisabledSubmitIsSilent pins the disabled-journal contract at
+// the scheduler level: operations run normally and nothing is journaled.
+func TestJournalDisabledSubmitIsSilent(t *testing.T) {
+	defer leaktest.Check(t)()
+	journal := obs.NewJournal(8, nil) // starts disabled
+	s, err := New(testMD(t), Config{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := computeJob("a")
+	job.Threads = 4
+	if _, err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if journal.Recorded() != 0 || len(journal.Records()) != 0 {
+		t.Fatalf("disabled journal recorded %d records", journal.Recorded())
+	}
+	if len(journal.Incidents()) != 0 {
+		t.Fatal("disabled journal captured incidents")
+	}
+}

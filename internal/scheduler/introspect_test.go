@@ -1,0 +1,227 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pandia/internal/analysis/leaktest"
+	"pandia/internal/obs"
+)
+
+func muxGet(t *testing.T, s *Scheduler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	s.Mux().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+// TestMuxMetricsParsesAsPrometheus scrapes /metrics after real scheduler
+// traffic and validates every line against the text exposition grammar:
+// TYPE comments, legal metric names, parseable sample values, cumulative
+// non-decreasing bucket series closed by +Inf.
+func TestMuxMetricsParsesAsPrometheus(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, _, _ := flightScheduler(t, Config{})
+	job := computeJob("a")
+	job.Threads = 4
+	if _, err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := muxGet(t, s, "/metrics")
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	validName := func(name string) bool {
+		for i, r := range name {
+			ok := r == '_' || r == ':' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(r >= '0' && r <= '9' && i > 0)
+			if !ok {
+				return false
+			}
+		}
+		return name != ""
+	}
+	sawSubmissions := false
+	lastBucket := map[string]float64{} // histogram name → last cumulative count
+	for _, line := range strings.Split(strings.TrimRight(rr.Body.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !validName(parts[2]) ||
+				(parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		// Sample line: name[{le="bound"}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			label := series[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("malformed bucket label in %q", line)
+			}
+			base := strings.TrimSuffix(name, "_bucket")
+			cum, _ := strconv.ParseFloat(value, 64)
+			if cum < lastBucket[base] {
+				t.Fatalf("bucket series %s not cumulative: %g after %g", base, cum, lastBucket[base])
+			}
+			lastBucket[base] = cum
+		}
+		if !validName(name) {
+			t.Fatalf("illegal metric name in %q", line)
+		}
+		if name == "scheduler_submissions" {
+			sawSubmissions = true
+		}
+	}
+	if !sawSubmissions {
+		t.Fatal("/metrics is missing scheduler_submissions")
+	}
+	for base, last := range lastBucket {
+		if !strings.Contains(rr.Body.String(), base+`_bucket{le="+Inf"} `+strconv.FormatFloat(last, 'g', -1, 64)) {
+			t.Fatalf("histogram %s bucket series does not end at +Inf = %g", base, last)
+		}
+	}
+}
+
+func TestMuxDecisionsMatchesJournal(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, journal, _ := flightScheduler(t, Config{})
+	job := computeJob("a")
+	job.Threads = 4
+	if _, err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := muxGet(t, s, "/debug/decisions")
+	if rr.Code != 200 {
+		t.Fatalf("GET /debug/decisions = %d", rr.Code)
+	}
+	var out struct {
+		Records  []obs.DecisionRecord `json:"records"`
+		Recorded int64                `json:"recorded"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint serves exactly the records the JSONL dump writes.
+	want := journal.Records()
+	if len(out.Records) != len(want) || out.Recorded != journal.Recorded() {
+		t.Fatalf("endpoint served %d records (recorded %d), journal has %d (%d)",
+			len(out.Records), out.Recorded, len(want), journal.Recorded())
+	}
+	for i := range want {
+		a, _ := json.Marshal(out.Records[i])
+		b, _ := json.Marshal(want[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("record %d differs:\nendpoint: %s\njournal:  %s", i, a, b)
+		}
+	}
+
+	// A scheduler without a journal 404s rather than serving an empty log.
+	bare, err := New(testMD(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := muxGet(t, bare, "/debug/decisions"); rr.Code != 404 {
+		t.Fatalf("journal-less /debug/decisions = %d, want 404", rr.Code)
+	}
+}
+
+func TestMuxHealth(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, _, _ := flightScheduler(t, Config{})
+	job := computeJob("a")
+	job.Threads = 4
+	if _, err := s.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cordon(s.FreeContexts()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := muxGet(t, s, "/debug/health")
+	if rr.Code != 200 {
+		t.Fatalf("GET /debug/health = %d", rr.Code)
+	}
+	var resp healthResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine == "" {
+		t.Fatal("health response has no machine name")
+	}
+	total := s.Machine().TotalContexts()
+	if got := resp.Contexts.Healthy + resp.Contexts.Cordoned + resp.Contexts.Failed; got != total {
+		t.Fatalf("context counts sum to %d, want %d", got, total)
+	}
+	if resp.Contexts.Cordoned != 1 {
+		t.Fatalf("cordoned = %d, want 1", resp.Contexts.Cordoned)
+	}
+	if len(resp.Running) != 1 || resp.Running[0].Job != "a" || resp.Running[0].Threads != 4 {
+		t.Fatalf("running = %+v", resp.Running)
+	}
+	if !resp.Journaling || resp.JournalRecorded == 0 {
+		t.Fatalf("journal counters = %+v, want journaling with traffic", resp)
+	}
+}
+
+func TestMuxExplain(t *testing.T) {
+	defer leaktest.Check(t)()
+	s, _, _ := flightScheduler(t, Config{})
+	for _, id := range []string{"a", "b"} {
+		job := memoryJob(id)
+		job.Threads = 4
+		if _, err := s.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if rr := muxGet(t, s, "/debug/explain"); rr.Code != 400 {
+		t.Fatalf("missing ?job= returned %d, want 400", rr.Code)
+	}
+	if rr := muxGet(t, s, "/debug/explain?job=nope"); rr.Code != 404 {
+		t.Fatalf("unknown job returned %d, want 404", rr.Code)
+	}
+
+	rr := muxGet(t, s, "/debug/explain?job=a")
+	if rr.Code != 200 {
+		t.Fatalf("GET /debug/explain?job=a = %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job != "a" || resp.Placement == "" || resp.Explain == nil {
+		t.Fatalf("explain response = %+v", resp)
+	}
+	if len(resp.Mix) != 2 || !strings.HasPrefix(resp.Mix[0], "a: 4 threads on ") {
+		t.Fatalf("mix = %v", resp.Mix)
+	}
+
+	text := muxGet(t, s, "/debug/explain?job=a&format=text")
+	if text.Code != 200 || !strings.HasPrefix(text.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("text explain: code %d, content type %q", text.Code, text.Header().Get("Content-Type"))
+	}
+	if text.Body.Len() == 0 {
+		t.Fatal("text explain rendered nothing")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"pandia/internal/core"
 	"pandia/internal/obs"
@@ -191,7 +192,16 @@ func (s *Scheduler) Cordon(ctxs ...topology.Context) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cordonLocked(ctxs), nil
+	sc := s.beginOpLocked("cordon", "")
+	defer sc.end()
+	n := s.cordonLocked(ctxs)
+	if sc.journaling {
+		sc.rec.Outcome = "applied"
+		sc.rec.Placement = placement.Placement(ctxs).String()
+		sc.rec.Reason = fmt.Sprintf("%d newly cordoned", n)
+		sc.record()
+	}
+	return n, nil
 }
 
 func (s *Scheduler) cordonLocked(ctxs []topology.Context) int {
@@ -223,6 +233,8 @@ func (s *Scheduler) Uncordon(ctxs ...topology.Context) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc := s.beginOpLocked("uncordon", "")
+	defer sc.end()
 	n := 0
 	for _, c := range ctxs {
 		if s.healthLocked(c) != Healthy {
@@ -231,6 +243,12 @@ func (s *Scheduler) Uncordon(ctxs ...topology.Context) (int, error) {
 		}
 	}
 	metUncordons.Add(int64(n))
+	if sc.journaling {
+		sc.rec.Outcome = "applied"
+		sc.rec.Placement = placement.Placement(ctxs).String()
+		sc.rec.Reason = fmt.Sprintf("%d returned to service", n)
+		sc.record()
+	}
 	return n, nil
 }
 
@@ -268,6 +286,8 @@ func (s *Scheduler) Fail(ctxs ...topology.Context) (*EvictionReport, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc := s.beginOpLocked("fail", "")
+	defer sc.end()
 	rep := &EvictionReport{}
 	for _, c := range ctxs {
 		if s.healthLocked(c) != Failed {
@@ -282,9 +302,27 @@ func (s *Scheduler) Fail(ctxs ...topology.Context) (*EvictionReport, error) {
 		failed[c] = true
 	}
 	for _, id := range s.affectedLocked(failed) {
-		rep.Evicted = append(rep.Evicted, s.evictLocked(id, "context failed"))
+		rep.Evicted = append(rep.Evicted, s.evictLocked(&sc, id, "context failed"))
+	}
+	if sc.journaling {
+		sc.rec.Outcome = "applied"
+		sc.rec.Placement = placement.Placement(rep.Failed).String()
+		sc.rec.Reason = fmt.Sprintf("%d contexts failed, %d jobs evicted", len(rep.Failed), len(rep.Evicted))
+		sc.record()
+		if ids := evictedIDs(rep.Evicted); len(ids) > 0 {
+			sc.incident("eviction", strings.Join(ids, ","), "context failure evicted "+strings.Join(ids, ", "))
+		}
 	}
 	return rep, nil
+}
+
+// evictedIDs lists the evicted jobs' IDs in report order.
+func evictedIDs(evs []Eviction) []string {
+	ids := make([]string, len(evs))
+	for i, ev := range evs {
+		ids[i] = ev.JobID
+	}
+	return ids
 }
 
 // FailSocket fails every context of one socket.
@@ -316,9 +354,10 @@ func (s *Scheduler) affectedLocked(set map[topology.Context]bool) []string {
 	return out
 }
 
-// evictLocked removes one job and records the eviction. The caller must
-// hold mu and have verified the job is running.
-func (s *Scheduler) evictLocked(id, reason string) Eviction {
+// evictLocked removes one job, records the eviction, and journals it as a
+// child decision of the operation forcing it. The caller must hold mu and
+// have verified the job is running.
+func (s *Scheduler) evictLocked(sc *opScope, id, reason string) Eviction {
 	a := s.running[id]
 	ev := Eviction{
 		JobID:     id,
@@ -331,6 +370,10 @@ func (s *Scheduler) evictLocked(id, reason string) Eviction {
 	delete(s.running, id)
 	metRunningJobs.Set(float64(len(s.running)))
 	metEvictions.Inc()
+	sc.child(obs.DecisionRecord{
+		Op: "evict", Job: id, Outcome: "evicted", Reason: "eviction",
+		Cause: reason, Placement: ev.Placement.String(),
+	})
 	return ev
 }
 
@@ -348,6 +391,8 @@ func (s *Scheduler) Drain(ctxs []topology.Context, opt DrainOptions) (*DrainRepo
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	metDrains.Inc()
+	sc := s.beginOpLocked("drain", "")
+	defer sc.end()
 
 	rep := &DrainReport{}
 	s.cordonLocked(ctxs)
@@ -360,10 +405,19 @@ func (s *Scheduler) Drain(ctxs []topology.Context, opt DrainOptions) (*DrainRepo
 
 	for _, id := range s.affectedLocked(target) {
 		if rep.DeadlineExceeded {
-			rep.Evicted = append(rep.Evicted, s.evictLocked(id, "drain deadline exceeded"))
+			rep.Evicted = append(rep.Evicted, s.evictLocked(&sc, id, "drain deadline exceeded"))
 			continue
 		}
-		s.drainJobLocked(id, opt, rep)
+		s.drainJobLocked(&sc, id, opt, rep)
+	}
+	if sc.journaling {
+		sc.rec.Outcome = "applied"
+		sc.rec.Placement = placement.Placement(rep.Drained).String()
+		sc.rec.Reason = fmt.Sprintf("%d migrated, %d evicted", len(rep.Migrated), len(rep.Evicted))
+		sc.record()
+		if ids := evictedIDs(rep.Evicted); len(ids) > 0 {
+			sc.incident("eviction", strings.Join(ids, ","), "drain evicted "+strings.Join(ids, ", "))
+		}
 	}
 	return rep, nil
 }
@@ -379,11 +433,11 @@ func (s *Scheduler) DrainSocket(sock int, opt DrainOptions) (*DrainReport, error
 
 // drainJobLocked migrates or evicts one affected job, accumulating into
 // rep. The caller must hold mu.
-func (s *Scheduler) drainJobLocked(id string, opt DrainOptions, rep *DrainReport) {
+func (s *Scheduler) drainJobLocked(sc *opScope, id string, opt DrainOptions, rep *DrainReport) {
 	a := s.running[id]
-	cand := s.bestMigrationLocked(id, a)
+	cand := s.bestMigrationLocked(id, a, sc.id)
 	if cand == nil {
-		rep.Evicted = append(rep.Evicted, s.evictLocked(id, "no feasible placement off drained contexts"))
+		rep.Evicted = append(rep.Evicted, s.evictLocked(sc, id, "no feasible placement off drained contexts"))
 		return
 	}
 	attempts := 0
@@ -404,10 +458,14 @@ func (s *Scheduler) drainJobLocked(id string, opt DrainOptions, rep *DrainReport
 			a.Placement = append(placement.Placement(nil), cand...)
 			rep.Migrated = append(rep.Migrated, Migration{JobID: id, From: from, To: cand, Attempts: attempts})
 			metMigrations.Inc()
+			sc.child(obs.DecisionRecord{
+				Op: "migrate", Job: id, Outcome: "migrated",
+				Cause: "from " + from.String(), Placement: cand.String(),
+			})
 			return
 		}
 		if attempts > opt.MaxRetries {
-			rep.Evicted = append(rep.Evicted, s.evictLocked(id,
+			rep.Evicted = append(rep.Evicted, s.evictLocked(sc, id,
 				fmt.Sprintf("placement validation retries exhausted (%d attempts): %v", attempts, err)))
 			return
 		}
@@ -416,7 +474,7 @@ func (s *Scheduler) drainJobLocked(id string, opt DrainOptions, rep *DrainReport
 		rep.Cost += opt.backoffUnit() * math.Pow(2, float64(attempts-1))
 		if opt.Deadline > 0 && rep.Cost > opt.Deadline {
 			rep.DeadlineExceeded = true
-			rep.Evicted = append(rep.Evicted, s.evictLocked(id, "drain deadline exceeded"))
+			rep.Evicted = append(rep.Evicted, s.evictLocked(sc, id, "drain deadline exceeded"))
 			return
 		}
 	}
@@ -425,8 +483,9 @@ func (s *Scheduler) drainJobLocked(id string, opt DrainOptions, rep *DrainReport
 // bestMigrationLocked picks the best re-placement for one job over the free
 // healthy contexts plus the job's own healthy, non-cordoned contexts,
 // scored by joint predicted aggregate throughput with everything else
-// fixed. nil means no feasible placement. The caller must hold mu.
-func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Placement {
+// fixed. nil means no feasible placement. span is the requesting decision's
+// id for trace attribution. The caller must hold mu.
+func (s *Scheduler) bestMigrationLocked(id string, a *Assignment, span int64) placement.Placement {
 	avail := s.freeLocked()
 	for _, c := range a.Placement {
 		if s.healthLocked(c) == Healthy {
@@ -491,7 +550,7 @@ func (s *Scheduler) bestMigrationLocked(id string, a *Assignment) placement.Plac
 			continue
 		}
 		jobs[idx] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
-		co, err := s.predictMixLocked(jobs)
+		co, err := s.predictMixLocked(jobs, span)
 		if err != nil {
 			continue
 		}

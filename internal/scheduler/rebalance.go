@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pandia/internal/core"
+	"pandia/internal/obs"
 	"pandia/internal/placement"
 	"pandia/internal/topology"
 )
@@ -67,6 +68,8 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 		return nil, nil
 	}
 	metRebalanceRuns.Inc()
+	sc := s.beginOpLocked("rebalance", "")
+	defer sc.end()
 
 	ids := make([]string, 0, len(s.running))
 	for id := range s.running {
@@ -79,8 +82,9 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 		a := s.running[id]
 		baseJobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: a.Placement}
 	}
-	baseCo, err := s.predictMixLocked(baseJobs)
+	baseCo, err := s.predictMixLocked(baseJobs, sc.id)
 	if err != nil {
+		sc.errored(err)
 		return nil, err
 	}
 	baseScore := aggregateThroughput(baseCo)
@@ -126,8 +130,9 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 			}
 			jobs := append([]core.PlacedWorkload(nil), baseJobs...)
 			jobs[i] = core.PlacedWorkload{Workload: a.Job.Workload, Placement: cand}
-			co, err := s.predictMixLocked(jobs)
+			co, err := s.predictMixLocked(jobs, sc.id)
 			if err != nil {
+				sc.errored(err)
 				return nil, err
 			}
 			gain := aggregateThroughput(co)/baseScore - 1
@@ -149,6 +154,23 @@ func (s *Scheduler) Rebalance(minGain float64) (*RebalanceReport, error) {
 	}
 	sort.Slice(rep.Moves, func(a, b int) bool { return rep.Moves[a].Gain > rep.Moves[b].Gain })
 	metRebalanceMoves.Add(int64(len(rep.Moves)))
+	if sc.journaling {
+		sc.rec.Outcome = "advised"
+		sc.rec.Candidates = len(ids)
+		sc.rec.Score = rep.BaseScore
+		sc.rec.Reason = fmt.Sprintf("%d moves advised", len(rep.Moves))
+		// The top advised moves ride in the alternatives slots: Score is the
+		// predicted post-move aggregate, Slowdown the relative gain, Reject
+		// names the moved job.
+		for _, m := range rep.Moves {
+			sc.rec.AddAlternative(obs.Alternative{
+				Placement: m.To.String(), Strategy: m.Strategy,
+				Score: rep.BaseScore * (1 + m.Gain), Slowdown: m.Gain,
+				Reject: "job " + m.JobID,
+			})
+		}
+		sc.record()
+	}
 	return rep, nil
 }
 
@@ -170,22 +192,30 @@ func (s *Scheduler) RebalanceAdvice(minGain float64) ([]Move, error) {
 func (s *Scheduler) ApplyMove(m Move) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc := s.beginOpLocked("apply-move", m.JobID)
+	defer sc.end()
 	a, ok := s.running[m.JobID]
 	if !ok {
-		return fmt.Errorf("scheduler: job %q not running", m.JobID)
+		err := fmt.Errorf("scheduler: job %q not running", m.JobID)
+		sc.rejected("conflict", err.Error())
+		return err
+	}
+	conflict := func(cerr *MoveConflictError) error {
+		sc.rejected("conflict", cerr.Reason)
+		return cerr
 	}
 	if !samePlacement(a.Placement, m.From) {
-		return &MoveConflictError{JobID: m.JobID,
-			Reason: "job placement changed since the advice was computed"}
+		return conflict(&MoveConflictError{JobID: m.JobID,
+			Reason: "job placement changed since the advice was computed"})
 	}
 	// The target must be a valid placement (on-machine, no context twice)
 	// of the same thread count...
 	if err := placement.Placement(m.To).Validate(s.md.Topo); err != nil {
-		return &MoveConflictError{JobID: m.JobID, Reason: err.Error()}
+		return conflict(&MoveConflictError{JobID: m.JobID, Reason: err.Error()})
 	}
 	if len(m.To) != len(a.Placement) {
-		return &MoveConflictError{JobID: m.JobID, Reason: fmt.Sprintf(
-			"move changes thread count (%d -> %d)", len(a.Placement), len(m.To))}
+		return conflict(&MoveConflictError{JobID: m.JobID, Reason: fmt.Sprintf(
+			"move changes thread count (%d -> %d)", len(a.Placement), len(m.To))})
 	}
 	// ...using only contexts that are still healthy and still free (or the
 	// job's own).
@@ -195,17 +225,19 @@ func (s *Scheduler) ApplyMove(m Move) error {
 	}
 	for _, c := range m.To {
 		if h := s.healthLocked(c); h != Healthy {
-			return &MoveConflictError{JobID: m.JobID, Context: c, Health: h,
-				Reason: fmt.Sprintf("target context %v is %s", c, h)}
+			return conflict(&MoveConflictError{JobID: m.JobID, Context: c, Health: h,
+				Reason: fmt.Sprintf("target context %v is %s", c, h)})
 		}
 		if owner, used := s.occupied[c]; used && !own[c] {
-			return &MoveConflictError{JobID: m.JobID, Context: c, Owner: owner,
-				Reason: fmt.Sprintf("target context %v now belongs to %q", c, owner)}
+			return conflict(&MoveConflictError{JobID: m.JobID, Context: c, Owner: owner,
+				Reason: fmt.Sprintf("target context %v now belongs to %q", c, owner)})
 		}
 	}
 	if s.cfg.PlacementCheck != nil {
 		if cerr := s.cfg.PlacementCheck(placement.Placement(m.To)); cerr != nil {
-			return &PlacementCheckError{JobID: m.JobID, Err: cerr}
+			perr := &PlacementCheckError{JobID: m.JobID, Err: cerr}
+			sc.rejected("placement-check", perr.Error())
+			return perr
 		}
 	}
 	for _, c := range a.Placement {
@@ -216,6 +248,14 @@ func (s *Scheduler) ApplyMove(m Move) error {
 	}
 	a.Placement = append(placement.Placement(nil), m.To...)
 	metRebalanceApplied.Inc()
+	if sc.journaling {
+		sc.rec.Outcome = "applied"
+		sc.rec.Placement = a.Placement.String()
+		sc.rec.Strategy = m.Strategy
+		sc.rec.Cause = "from " + m.From.String()
+		sc.rec.Score = m.Gain
+		sc.record()
+	}
 	return nil
 }
 

@@ -115,6 +115,19 @@ type Config struct {
 	// the cache changes no decision; the flag exists for differential tests
 	// and measurement.
 	DisablePredictionCache bool
+	// Journal, when non-nil and enabled, receives one typed DecisionRecord
+	// per scheduler operation — decision id, cause chain, candidate-set
+	// size, top-k alternative placements, prune/cache statistics, typed
+	// rejection reason — and auto-snapshots its window on incidents (SLO
+	// rejection, eviction, degraded admission). A nil or disabled journal
+	// costs one branch per operation.
+	Journal *obs.Journal
+	// Tracer, when non-nil and enabled, receives hierarchical operation
+	// spans (Submit → candidate sweep → cache lookup) and is threaded into
+	// the joint solver, whose iteration events then carry the operation's
+	// decision id — one Perfetto timeline links scheduler decisions to the
+	// solver work they caused. Same cost contract as core.Options.Tracer.
+	Tracer obs.Tracer
 }
 
 // Scheduler places jobs on one machine. It is safe for concurrent use.
@@ -151,7 +164,7 @@ type Scheduler struct {
 
 // New builds a scheduler for the described machine.
 func New(md *machine.Description, cfg Config) (*Scheduler, error) {
-	co, err := core.NewCoPredictor(md, core.Options{})
+	co, err := core.NewCoPredictor(md, core.Options{Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -248,14 +261,19 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		return nil, fmt.Errorf("scheduler: job %q already running", job.ID)
 	}
 
+	sc := s.beginOpLocked("submit", job.ID)
+	defer sc.end()
+
 	var degradedReasons []string
 	if s.cfg.AdmissionRate > 0 {
 		if !s.takeTokenLocked() {
 			if !s.cfg.AdmitDegraded {
 				metRejectRate.Inc()
-				return nil, &AdmissionError{JobID: job.ID, Kind: AdmitRateLimited,
+				aerr := &AdmissionError{JobID: job.ID, Kind: AdmitRateLimited,
 					Reason: fmt.Sprintf("token bucket empty (rate %g/s, burst %g)",
 						s.cfg.AdmissionRate, s.burst())}
+				sc.rejected(aerr.Kind.String(), aerr.Reason)
+				return nil, aerr
 			}
 			degradedReasons = append(degradedReasons, "admission: rate limit exceeded, admitted degraded")
 		}
@@ -263,8 +281,10 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 
 	free := s.freeLocked()
 	if len(free) == 0 {
-		return nil, &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
+		aerr := &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
 			Reason: "no free healthy hardware contexts"}
+		sc.rejected(aerr.Kind.String(), aerr.Reason)
+		return nil, aerr
 	}
 	counts := s.candidateCounts(job, len(free))
 
@@ -272,6 +292,7 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		place    placement.Placement
 		strategy string
 	}
+	sc.phase(SpanPhaseSweep, true)
 	busy := s.socketOccupancyLocked()
 	var candidates []candidate
 	for _, n := range counts {
@@ -291,8 +312,14 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		}
 	}
 	if len(candidates) == 0 {
-		return nil, &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
+		sc.phase(SpanPhaseSweep, false)
+		aerr := &AdmissionError{JobID: job.ID, Kind: AdmitNoCapacity,
 			Reason: fmt.Sprintf("no feasible placement (%d free contexts)", len(free))}
+		sc.rejected(aerr.Kind.String(), aerr.Reason)
+		return nil, aerr
+	}
+	if sc.journaling {
+		sc.rec.Candidates = len(candidates)
 	}
 
 	// Joint prediction of each candidate with the running mix. The mix is
@@ -319,6 +346,15 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 	var bestAny *Assignment
 	var policyViolations []string
 	sawSLO := false
+	// evals mirrors every solved candidate for the journal's top-k
+	// alternatives; nil (nothing collected) unless journaling.
+	type candEval struct {
+		placement, strategy string
+		score, slowdown     float64
+		reject              string
+	}
+	var evals []candEval
+	var prunedHere int64
 	seen := make(map[string]bool)
 	for _, cand := range candidates {
 		key := cand.place.String()
@@ -333,15 +369,24 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		// been scored — rejection reasons are unaffected.
 		if bound := baseBound + job.Workload.AmdahlSpeedup(len(cand.place)); bound <= bestScore && bound <= bestAnyScore {
 			metCandidatesPruned.Inc()
+			prunedHere++
 			continue
 		}
 		jobs := append(append([]core.PlacedWorkload(nil), base...),
 			core.PlacedWorkload{Workload: job.Workload, Placement: cand.place})
-		co, err := s.predictMixLocked(jobs)
+		co, err := s.predictMixLocked(jobs, sc.id)
 		if err != nil {
+			sc.phase(SpanPhaseSweep, false)
+			sc.errored(err)
 			return nil, err
 		}
 		score := aggregateThroughput(co)
+		// The SLO metric doubles as the journal's per-candidate slowdown, so
+		// compute it whenever either consumer wants it.
+		slow := 0.0
+		if s.cfg.SlowdownSLO > 0 || sc.journaling {
+			slow = worstSlowdown(co)
+		}
 		asgn := &Assignment{
 			Job:        job,
 			Placement:  cand.place,
@@ -352,24 +397,34 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 			bestAnyScore = score
 			bestAny = asgn
 		}
+		var reject string
 		if s.cfg.AdmissionThreshold > 0 && co.WorstOversubscription > s.cfg.AdmissionThreshold {
-			policyViolations = append(policyViolations, fmt.Sprintf(
+			reject = fmt.Sprintf(
 				"%s: oversubscription %.2f > threshold %.2f", cand.strategy,
-				co.WorstOversubscription, s.cfg.AdmissionThreshold))
-			continue
+				co.WorstOversubscription, s.cfg.AdmissionThreshold)
+		} else if s.cfg.SlowdownSLO > 0 && slow > s.cfg.SlowdownSLO {
+			reject = fmt.Sprintf(
+				"%s: worst slowdown %.2f > SLO %.2f", cand.strategy, slow, s.cfg.SlowdownSLO)
+			sawSLO = true
 		}
-		if s.cfg.SlowdownSLO > 0 {
-			if sl := worstSlowdown(co); sl > s.cfg.SlowdownSLO {
-				policyViolations = append(policyViolations, fmt.Sprintf(
-					"%s: worst slowdown %.2f > SLO %.2f", cand.strategy, sl, s.cfg.SlowdownSLO))
-				sawSLO = true
-				continue
-			}
+		if sc.journaling {
+			evals = append(evals, candEval{
+				placement: key, strategy: cand.strategy,
+				score: score, slowdown: slow, reject: reject,
+			})
+		}
+		if reject != "" {
+			policyViolations = append(policyViolations, reject)
+			continue
 		}
 		if score > bestScore {
 			bestScore = score
 			best = asgn
 		}
+	}
+	sc.phase(SpanPhaseSweep, false)
+	if sc.journaling {
+		sc.rec.Pruned = prunedHere
 	}
 	if best == nil {
 		if !s.cfg.AdmitDegraded || bestAny == nil {
@@ -378,8 +433,21 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 				kind = AdmitSLOExceeded
 				metRejectSLO.Inc()
 			}
-			return nil, &AdmissionError{JobID: job.ID, Kind: kind,
+			aerr := &AdmissionError{JobID: job.ID, Kind: kind,
 				Reason: "every candidate violates admission policy: " + strings.Join(policyViolations, "; ")}
+			if sc.journaling {
+				for _, ev := range evals {
+					sc.rec.AddAlternative(obs.Alternative{
+						Placement: ev.placement, Strategy: ev.strategy,
+						Score: ev.score, Slowdown: ev.slowdown, Reject: ev.reject,
+					})
+				}
+				sc.rejected(aerr.Kind.String(), aerr.Reason)
+				if kind == AdmitSLOExceeded {
+					sc.incident("slo-rejection", job.ID, aerr.Reason)
+				}
+			}
+			return nil, aerr
 		}
 		best = bestAny
 		degradedReasons = append(degradedReasons,
@@ -389,7 +457,9 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 	if s.cfg.PlacementCheck != nil {
 		if cerr := s.cfg.PlacementCheck(best.Placement); cerr != nil {
 			metRejectCheck.Inc()
-			return nil, &PlacementCheckError{JobID: job.ID, Err: cerr}
+			perr := &PlacementCheckError{JobID: job.ID, Err: cerr}
+			sc.rejected("placement-check", perr.Error())
+			return nil, perr
 		}
 	}
 
@@ -403,6 +473,32 @@ func (s *Scheduler) Submit(job Job) (asgn *Assignment, err error) {
 		s.occupied[c] = job.ID
 	}
 	metRunningJobs.Set(float64(len(s.running)))
+	if sc.journaling {
+		chosen := best.Placement.String()
+		matched := false
+		for _, ev := range evals {
+			if !matched && ev.placement == chosen && ev.strategy == best.Strategy {
+				matched = true
+				sc.rec.Score = ev.score
+				continue
+			}
+			sc.rec.AddAlternative(obs.Alternative{
+				Placement: ev.placement, Strategy: ev.strategy,
+				Score: ev.score, Slowdown: ev.slowdown, Reject: ev.reject,
+			})
+		}
+		sc.rec.Placement = chosen
+		sc.rec.Strategy = best.Strategy
+		sc.rec.Outcome = "admitted"
+		if best.Degraded {
+			sc.rec.Outcome = "admitted-degraded"
+			sc.rec.Reason = strings.Join(best.DegradedReasons, "; ")
+		}
+		sc.record()
+		if best.Degraded {
+			sc.incident("degraded-admission", job.ID, strings.Join(best.DegradedReasons, "; "))
+		}
+	}
 	return best, nil
 }
 
@@ -475,20 +571,46 @@ func (s *Scheduler) Predict() (*core.CoPrediction, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("scheduler: nothing running")
 	}
-	return s.predictMixLocked(jobs)
+	sc := s.beginOpLocked("predict", "")
+	defer sc.end()
+	co, err := s.predictMixLocked(jobs, sc.id)
+	if err != nil {
+		sc.errored(err)
+		return nil, err
+	}
+	if sc.journaling {
+		sc.rec.Outcome = "predicted"
+		sc.rec.Candidates = len(jobs)
+		sc.rec.Score = aggregateThroughput(co)
+		sc.record()
+	}
+	return co, nil
 }
 
 // predictMixLocked jointly predicts one mix through the shared prediction
 // cache: a canonical-hash hit returns the exact CoPrediction an earlier
 // solve produced (callers treat it as read-only), a miss solves on the
-// pooled CoPredictor and stores the result. The caller must hold mu.
-func (s *Scheduler) predictMixLocked(jobs []core.PlacedWorkload) (*core.CoPrediction, error) {
+// pooled CoPredictor and stores the result. span is the requesting
+// operation's decision id (0 outside one): it brackets the cache lookup in
+// a span and rides into the solver's trace events, but is excluded from the
+// cache key (DESIGN.md §12). The caller must hold mu.
+func (s *Scheduler) predictMixLocked(jobs []core.PlacedWorkload, span int64) (*core.CoPrediction, error) {
+	s.co.SetSpan(span)
 	if s.coCache == nil {
 		return s.co.Predict(jobs)
 	}
+	tr := s.cfg.Tracer
+	tracing := span != 0 && tr != nil && tr.Enabled()
+	if tracing {
+		tr.Emit(obs.Event{Kind: obs.EvSpanBegin, Span: span, Arg: SpanPhaseCache, Job: spanRow})
+	}
 	key, verify := s.coCache.Key(s.md, jobs, s.co.Options())
-	if co, ok := s.coCache.Lookup(key, verify); ok {
-		return co, nil
+	cached, ok := s.coCache.Lookup(key, verify)
+	if tracing {
+		tr.Emit(obs.Event{Kind: obs.EvSpanEnd, Span: span, Arg: SpanPhaseCache, Job: spanRow})
+	}
+	if ok {
+		return cached, nil
 	}
 	co, err := s.co.Predict(jobs)
 	if err != nil {
